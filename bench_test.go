@@ -1,0 +1,277 @@
+package wafl_test
+
+// One benchmark per table/figure of the paper's evaluation (§V), plus the
+// design-choice ablations. Each benchmark iteration builds a fresh
+// simulated storage server, runs the workload for a fixed simulated window,
+// and reports the simulated metrics (ops/s, write-allocation cores,
+// latency). Absolute values are simulator units; EXPERIMENTS.md maps them
+// to the paper's claims. `go run ./cmd/waflbench` produces the full tables.
+
+import (
+	"testing"
+
+	"wafl"
+	"wafl/harness"
+	"wafl/workload"
+)
+
+const (
+	benchWarmup = 150 * wafl.Millisecond
+	benchWindow = 250 * wafl.Millisecond
+)
+
+// benchRun builds a system, attaches the workload, measures one window, and
+// reports simulated metrics.
+func benchRun(b *testing.B, cfg wafl.Config, w harness.Attacher) {
+	b.Helper()
+	var last wafl.Results
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, _, err := harness.Measure(cfg, w, benchWarmup, benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.OpsPerSec, "simops/s")
+	b.ReportMetric(last.MBPerSec, "simMB/s")
+	b.ReportMetric(last.Cores.WriteAllocation(), "walloc-cores")
+	b.ReportMetric(last.LatAvg.Micros(), "simlat-us")
+}
+
+// permCfg builds a config for one {infra, cleaners} permutation.
+func permCfg(infraParallel bool, cleaners int) wafl.Config {
+	cfg := wafl.DefaultConfig()
+	cfg.Allocator.InfraParallel = infraParallel
+	cfg.Allocator.InitialCleaners = cleaners
+	cfg.Allocator.MaxCleaners = cleaners
+	cfg.Allocator.Dynamic = false
+	return cfg
+}
+
+// BenchmarkFig4SeqWritePermutations regenerates Figure 4: sequential write
+// under the four parallelization permutations (paper: +7% infra-only, +82%
+// cleaners-only, +274% both).
+func BenchmarkFig4SeqWritePermutations(b *testing.B) {
+	for _, p := range []struct {
+		name     string
+		infra    bool
+		cleaners int
+	}{
+		{"serialized", false, 1},
+		{"infra-only", true, 1},
+		{"cleaners-only", false, 6},
+		{"white-alligator", true, 6},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			benchRun(b, permCfg(p.infra, p.cleaners), workload.DefaultSeqWrite())
+		})
+	}
+}
+
+// BenchmarkFig5CleanerScaling regenerates Figure 5: throughput vs static
+// cleaner-thread count with the infrastructure parallel (paper: near-linear
+// until CPU saturation).
+func BenchmarkFig5CleanerScaling(b *testing.B) {
+	for n := 1; n <= 6; n++ {
+		b.Run(itoa(n), func(b *testing.B) {
+			benchRun(b, permCfg(true, n), workload.DefaultSeqWrite())
+		})
+	}
+}
+
+// BenchmarkFig6InfraParallelization regenerates Figure 6: infrastructure
+// serialized vs parallel with parallel cleaners (paper: 0.94 -> 2.35 infra
+// cores, +106% throughput).
+func BenchmarkFig6InfraParallelization(b *testing.B) {
+	for _, p := range []struct {
+		name  string
+		infra bool
+	}{{"serialized", false}, {"parallel", true}} {
+		b.Run(p.name, func(b *testing.B) {
+			benchRun(b, permCfg(p.infra, 6), workload.DefaultSeqWrite())
+		})
+	}
+}
+
+// BenchmarkFig7RandomWritePermutations regenerates Figure 7: random write
+// under the four permutations (paper shape inverted vs Fig 4: +25%
+// infra-only > +14% cleaners-only; +50% both).
+func BenchmarkFig7RandomWritePermutations(b *testing.B) {
+	for _, p := range []struct {
+		name     string
+		infra    bool
+		cleaners int
+	}{
+		{"serialized", false, 1},
+		{"infra-only", true, 1},
+		{"cleaners-only", false, 6},
+		{"white-alligator", true, 6},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			benchRun(b, permCfg(p.infra, p.cleaners), workload.DefaultRandWrite())
+		})
+	}
+}
+
+// fig8Cfg builds a Flash Pool OLTP configuration.
+func fig8Cfg(dynamic bool, threads int) wafl.Config {
+	cfg := wafl.DefaultConfig()
+	cfg.Drives = wafl.FlashPool
+	cfg.Allocator.InfraParallel = true
+	cfg.Allocator.SplitLargeFiles = false
+	cfg.Allocator.Dynamic = dynamic
+	cfg.Allocator.MaxCleaners = 4
+	if dynamic {
+		cfg.Allocator.InitialCleaners = 1
+	} else {
+		cfg.Allocator.InitialCleaners = threads
+		cfg.Allocator.MaxCleaners = threads
+	}
+	return cfg
+}
+
+// BenchmarkFig8OLTPCleanerCount regenerates Figure 8: OLTP peak throughput
+// for 1..4 static cleaner threads and dynamic tuning (paper: 2 optimal, >2
+// degrades, dynamic best).
+func BenchmarkFig8OLTPCleanerCount(b *testing.B) {
+	peak := workload.DefaultOLTP()
+	peak.Clients = 80
+	peak.Think = 0
+	for n := 1; n <= 4; n++ {
+		b.Run(itoa(n), func(b *testing.B) {
+			benchRun(b, fig8Cfg(false, n), peak)
+		})
+	}
+	b.Run("dynamic", func(b *testing.B) {
+		benchRun(b, fig8Cfg(true, 0), peak)
+	})
+}
+
+// BenchmarkFig9ThroughputLatency regenerates the Figure 9 curves at two
+// load points per configuration (off-peak and peak; the waflbench tool
+// sweeps the full load range).
+func BenchmarkFig9ThroughputLatency(b *testing.B) {
+	for _, cc := range []struct {
+		name    string
+		dynamic bool
+		threads int
+	}{
+		{"3-threads", false, 3},
+		{"4-threads", false, 4},
+		{"dynamic", true, 0},
+	} {
+		for _, clients := range []int{8, 24} {
+			b.Run(cc.name+"/clients-"+itoa(clients), func(b *testing.B) {
+				cfg := wafl.DefaultConfig()
+				cfg.Allocator.InfraParallel = true
+				cfg.Allocator.Dynamic = cc.dynamic
+				if cc.dynamic {
+					cfg.Allocator.InitialCleaners = 1
+					cfg.Allocator.MaxCleaners = 4
+				} else {
+					cfg.Allocator.InitialCleaners = cc.threads
+					cfg.Allocator.MaxCleaners = cc.threads
+				}
+				w := workload.DefaultSeqWrite()
+				w.Clients = clients
+				benchRun(b, cfg, w)
+			})
+		}
+	}
+}
+
+// BenchmarkVCBatchedCleaning regenerates the §V-C in-text table: the NFSv3
+// mix with and without batched inode cleaning (paper: +3.8% ops/s, latency
+// 6.7ms -> 6.5ms).
+func BenchmarkVCBatchedCleaning(b *testing.B) {
+	for _, batching := range []struct {
+		name string
+		on   bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(batching.name, func(b *testing.B) {
+			cfg := wafl.DefaultConfig()
+			cfg.Drives = wafl.HDD
+			cfg.RAIDGroups = 4
+			cfg.DriveBlocks = 32768
+			cfg.Allocator.BatchedCleaning = batching.on
+			w := workload.DefaultNFSMix()
+			w.Think = 0
+			w.FilesPerV = 800
+			benchRun(b, cfg, w)
+		})
+	}
+}
+
+// BenchmarkAblationBucketSize measures the §IV-C claim that buckets
+// amortize allocation overhead: chunk size one is legal but pays full
+// synchronization and scan cost per block.
+func BenchmarkAblationBucketSize(b *testing.B) {
+	for _, chunk := range []int{1, 8, 64, 256} {
+		b.Run(itoa(chunk), func(b *testing.B) {
+			cfg := permCfg(true, 4)
+			cfg.Allocator.ChunkBlocks = chunk
+			benchRun(b, cfg, workload.DefaultSeqWrite())
+		})
+	}
+}
+
+// BenchmarkAblationAAPolicy measures the §IV-D claim that most-free AA
+// selection maximizes full-stripe writes.
+func BenchmarkAblationAAPolicy(b *testing.B) {
+	for _, p := range []struct {
+		name   string
+		policy wafl.AAPolicy
+	}{{"most-free", wafl.AAMostFree}, {"first-fit", wafl.AAFirstFit}, {"round-robin", wafl.AARoundRobin}} {
+		b.Run(p.name, func(b *testing.B) {
+			cfg := permCfg(true, 4)
+			cfg.Allocator.AASelection = p.policy
+			benchRun(b, cfg, workload.DefaultSeqWrite())
+		})
+	}
+}
+
+// BenchmarkAblationLooseAccounting measures the §III-C claim: staging
+// counter updates in per-thread tokens vs taking the global counter lock on
+// every update.
+func BenchmarkAblationLooseAccounting(b *testing.B) {
+	for _, p := range []struct {
+		name  string
+		loose bool
+	}{{"loose", true}, {"locked", false}} {
+		b.Run(p.name, func(b *testing.B) {
+			cfg := permCfg(true, 6)
+			cfg.Allocator.LooseAccounting = p.loose
+			benchRun(b, cfg, workload.DefaultSeqWrite())
+		})
+	}
+}
+
+// BenchmarkAblationEqualProgress measures the §IV-D synchronized
+// whole-window bucket insertion vs inserting each bucket as it fills.
+func BenchmarkAblationEqualProgress(b *testing.B) {
+	for _, p := range []struct {
+		name string
+		eq   bool
+	}{{"synchronized", true}, {"immediate", false}} {
+		b.Run(p.name, func(b *testing.B) {
+			cfg := permCfg(true, 6)
+			cfg.Allocator.EqualProgress = p.eq
+			benchRun(b, cfg, workload.DefaultRandWrite())
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,279 @@
+package wafl
+
+import (
+	"fmt"
+
+	"wafl/internal/block"
+	"wafl/internal/nvlog"
+	"wafl/internal/sim"
+	"wafl/internal/waffinity"
+)
+
+// ClientCtx is a closed-loop client session: a simulated thread issuing
+// operations against the system, one at a time, measuring per-op latency.
+// Workload generators receive a ClientCtx and drive it.
+type ClientCtx struct {
+	sys *System
+	t   *sim.Thread
+	id  int
+
+	// per-client statistics
+	Ops     uint64
+	Blocks  uint64
+	Stalled uint64
+}
+
+// ClientThread spawns a closed-loop client running fn. Call before Run /
+// Measure.
+func (sys *System) ClientThread(name string, fn func(*ClientCtx)) *ClientCtx {
+	c := &ClientCtx{sys: sys, id: len(sys.clients)}
+	sys.clients = append(sys.clients, c)
+	sys.s.Go(name, sim.CatClient, func(t *sim.Thread) {
+		c.t = t
+		fn(c)
+	})
+	return c
+}
+
+// Alive reports whether the client should keep issuing operations.
+func (c *ClientCtx) Alive() bool { return !c.sys.stopped }
+
+// Now returns the current simulated time.
+func (c *ClientCtx) Now() Time { return c.t.Now() }
+
+// Think blocks the client for d without consuming CPU (client-side delay /
+// open-loop pacing).
+func (c *ClientCtx) Think(d Duration) { c.t.Sleep(d) }
+
+// Rand returns a deterministic pseudo-random int in [0, n).
+func (c *ClientCtx) Rand(n int64) int64 {
+	return c.sys.s.Rand().Int63n(n)
+}
+
+// stripeAff maps (volume, fbn) to the stripe affinity owning that file
+// region.
+func (sys *System) stripeAff(vol int, fbn FBN) *waffinity.Affinity {
+	stripes := sys.h.Aggrs[0].Volumes[vol].Stripes
+	idx := int(uint64(fbn)/sys.cfg.StripeWidthBlocks) % len(stripes)
+	return stripes[idx]
+}
+
+// payload builds the pattern content for a block write.
+func (sys *System) payload(ino uint64, fbn FBN, tag byte) []byte {
+	n := sys.cfg.PayloadBytes
+	if n <= 0 {
+		n = 64
+	}
+	if n > block.Size {
+		n = block.Size
+	}
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(ino) ^ byte(uint64(fbn)>>(uint(i)%24)) ^ tag ^ byte(i)
+	}
+	return p
+}
+
+// reserveLog reserves NVRAM space for an op's records, stalling the client
+// (and requesting CPs) until space frees up. Returns the stall time.
+func (c *ClientCtx) reserveLog(bytes uint64) Duration {
+	sys := c.sys
+	var stalled Duration
+	for !sys.log.Reserve(bytes) {
+		// Back-to-back CP: both halves occupied. Wait for the running CP.
+		start := c.t.Now()
+		c.Stalled++
+		sys.stalls++
+		sys.engine.RequestCP()
+		sys.engine.WaitCPDone(c.t)
+		stalled += Duration(c.t.Now() - start)
+	}
+	return stalled
+}
+
+// Write performs one client write of nblocks 4 KiB blocks at fbn: it logs
+// to NVRAM, then dirties the buffers inside the owning stripe affinities
+// (one message per stripe touched), and returns when the (logged) operation
+// is acknowledged — long before the data reaches a drive, as in the real
+// system.
+func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
+	sys := c.sys
+	start := c.t.Now()
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	blocks := make([][]byte, nblocks)
+	recBytes := uint64(0)
+	for b := 0; b < nblocks; b++ {
+		blocks[b] = sys.payload(ino, fbn+FBN(b), 0)
+		recBytes += nvlog.Record{Data: blocks[b], LogicalBytes: block.Size}.Size()
+	}
+	// Reserve NVRAM space up front (this is where overload stalls the op);
+	// the records themselves are appended inside the stripe messages,
+	// immediately adjacent to dirtying each buffer, so a record and its
+	// dirty state always land in the same CP generation.
+	stalled := c.reserveLog(recBytes)
+	// Group contiguous blocks by owning stripe affinity: one message each.
+	v := sys.a.Volume(vol)
+	for lo := 0; lo < nblocks; {
+		aff := sys.stripeAff(vol, fbn+FBN(lo))
+		hi := lo + 1
+		for hi < nblocks && sys.stripeAff(vol, fbn+FBN(hi)) == aff {
+			hi++
+		}
+		lo0, hi0 := lo, hi
+		sys.w.Call(c.t, aff, sim.CatClient, func(wt *sim.Thread) {
+			wt.Consume(sim.Duration(hi0-lo0) * sys.cfg.Costs.ClientPerBlock)
+			f := v.LookupFile(ino)
+			if f == nil {
+				panic(fmt.Sprintf("wafl: write to nonexistent ino %d", ino))
+			}
+			for b := lo0; b < hi0; b++ {
+				// Post-recovery write path: install the block's existing
+				// location (and the indirect path) so the overwrite frees
+				// the old block instead of leaking it.
+				v.EnsureL0Resident(f, fbn+FBN(b))
+				// Log + dirty with no simulation primitive in between:
+				// atomic with respect to CP freezes.
+				sys.log.AppendReserved(nvlog.Record{
+					Kind: nvlog.OpWrite, Vol: uint32(vol), Ino: ino,
+					FBN: fbn + FBN(b), Data: blocks[b], LogicalBytes: block.Size,
+				})
+				f.WriteBlock(fbn+FBN(b), blocks[b])
+			}
+			v.MarkDirty(f)
+		})
+		lo = hi
+	}
+	if !sys.log.HasFrozen() {
+		sys.maybeTriggerCP()
+	}
+	lat := Duration(c.t.Now() - start)
+	c.Ops++
+	c.Blocks += uint64(nblocks)
+	sys.opsDone++
+	sys.blocksW += uint64(nblocks)
+	sys.stallTime += stalled
+	sys.latencies = append(sys.latencies, lat)
+	return lat
+}
+
+// Read performs one client read of nblocks blocks at fbn, demand-loading
+// missing blocks from the drives with timed I/O.
+func (c *ClientCtx) Read(vol int, ino uint64, fbn FBN, nblocks int) Duration {
+	sys := c.sys
+	start := c.t.Now()
+	v := sys.a.Volume(vol)
+	for b := 0; b < nblocks; b++ {
+		fbn := fbn + FBN(b)
+		sys.w.Call(c.t, sys.stripeAff(vol, fbn), sim.CatClient, func(wt *sim.Thread) {
+			wt.Consume(sys.cfg.Costs.ClientPerBlock)
+			f := v.LookupFile(ino)
+			if f == nil {
+				return
+			}
+			v.ReadFileBlock(wt, f, fbn)
+		})
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	lat := Duration(c.t.Now() - start)
+	c.Ops++
+	sys.opsDone++
+	sys.blocksR += uint64(nblocks)
+	sys.latencies = append(sys.latencies, lat)
+	return lat
+}
+
+// Create makes a new file on the volume and returns its inode number. The
+// create executes first (assigning the inode) and is then logged to NVRAM
+// with that inode number, so replay is exact; the client is not
+// acknowledged until the record is logged.
+func (c *ClientCtx) Create(vol int, maxBlocks uint64) uint64 {
+	sys := c.sys
+	start := c.t.Now()
+	var ino uint64
+	v := sys.a.Volume(vol)
+	// Creates operate outside any single stripe: Volume Logical affinity.
+	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp)
+		f := v.CreateFile(maxBlocks)
+		ino = f.Ino()
+	})
+	rec := nvlog.Record{Kind: nvlog.OpCreate, Vol: uint32(vol), Ino: ino, MaxBlocks: maxBlocks}
+	for !sys.log.Append(rec) {
+		c.Stalled++
+		sys.stalls++
+		sys.engine.RequestCP()
+		sys.engine.WaitCPDone(c.t)
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	c.Ops++
+	sys.opsDone++
+	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	if !sys.log.HasFrozen() {
+		sys.maybeTriggerCP()
+	}
+	return ino
+}
+
+// Delete removes a file. The namespace change is immediate; the file's
+// blocks are reclaimed by the next consistency point (deferred deletion).
+// Returns false if the inode does not exist.
+func (c *ClientCtx) Delete(vol int, ino uint64) bool {
+	sys := c.sys
+	start := c.t.Now()
+	var ok bool
+	v := sys.a.Volume(vol)
+	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp / 2)
+		ok = v.DeleteFile(ino)
+	})
+	if ok {
+		rec := nvlog.Record{Kind: nvlog.OpDelete, Vol: uint32(vol), Ino: ino}
+		for !sys.log.Append(rec) {
+			c.Stalled++
+			sys.stalls++
+			sys.engine.RequestCP()
+			sys.engine.WaitCPDone(c.t)
+		}
+		if !sys.log.HasFrozen() {
+			sys.maybeTriggerCP()
+		}
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
+	c.Ops++
+	sys.opsDone++
+	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	return ok
+}
+
+// Getattr models a metadata read: a cheap operation in the volume's
+// logical affinity.
+func (c *ClientCtx) Getattr(vol int, ino uint64) Duration {
+	sys := c.sys
+	start := c.t.Now()
+	v := sys.a.Volume(vol)
+	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp / 2)
+		v.LookupFile(ino)
+	})
+	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
+	c.Ops++
+	sys.opsDone++
+	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	return Duration(c.t.Now() - start)
+}
+
+// VerifyRead returns the committed-or-cached content of a block without
+// timing effects (nil for holes) — the test/validation path.
+func (sys *System) VerifyRead(vol int, ino uint64, fbn FBN) []byte {
+	v := sys.a.Volume(vol)
+	f := v.LookupFile(ino)
+	if f == nil {
+		return nil
+	}
+	return v.ReadFileBlock(nil, f, fbn)
+}
+
+// CreateFileDirect makes a file without logging or timing (test setup).
+func (sys *System) CreateFileDirect(vol int, maxBlocks uint64) uint64 {
+	return sys.a.Volume(vol).CreateFile(maxBlocks).Ino()
+}

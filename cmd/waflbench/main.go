@@ -1,0 +1,115 @@
+// Command waflbench regenerates the paper's evaluation results (§V): every
+// figure and the §V-C batching table, printed as text tables. Absolute
+// numbers are simulator units; the shapes are the reproduction target (see
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	waflbench                 # run everything
+//	waflbench -exp fig4       # one experiment: fig4..fig9, batch, ablations
+//	waflbench -window 400ms   # measurement window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wafl"
+	"wafl/harness"
+	"wafl/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations all")
+	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
+	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
+	cleaners := flag.Int("cleaners", 4, "parallel cleaner-thread count for the permutation experiments")
+	flag.Parse()
+
+	rc := harness.DefaultRun()
+	rc.Window = wafl.Duration(window.Nanoseconds())
+	rc.Warmup = wafl.Duration(warmup.Nanoseconds())
+
+	run := func(name string, fn func() (harness.Table, error)) {
+		if *exp != "all" && !strings.EqualFold(*exp, name) {
+			return
+		}
+		start := time.Now()
+		t, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+		fmt.Printf("(%s took %.1fs host time)\n\n", name, time.Since(start).Seconds())
+	}
+
+	if *exp == "inspect" {
+		inspect(rc, *cleaners)
+		return
+	}
+
+	run("fig4", func() (harness.Table, error) {
+		t, _, err := harness.Fig4(rc, *cleaners)
+		return t, err
+	})
+	run("fig5", func() (harness.Table, error) {
+		t, _, err := harness.Fig5(rc, 6)
+		return t, err
+	})
+	run("fig6", func() (harness.Table, error) {
+		t, _, err := harness.Fig6(rc, *cleaners)
+		return t, err
+	})
+	run("fig7", func() (harness.Table, error) {
+		t, _, err := harness.Fig7(rc, *cleaners)
+		return t, err
+	})
+	run("fig8", func() (harness.Table, error) {
+		t, _, err := harness.Fig8(rc)
+		return t, err
+	})
+	run("fig9", func() (harness.Table, error) {
+		t, _, err := harness.Fig9(rc)
+		return t, err
+	})
+	run("batch", func() (harness.Table, error) {
+		t, _, err := harness.BatchedCleaning(rc)
+		return t, err
+	})
+	run("ablations", func() (harness.Table, error) {
+		t, err := harness.Ablations(rc)
+		return t, err
+	})
+}
+
+// inspect runs one workload/config pair and dumps detailed internals —
+// the calibration and debugging view.
+func inspect(rc harness.RunConfig, cleaners int) {
+	for _, mode := range []struct {
+		name     string
+		infra    bool
+		cleaners int
+	}{
+		{"baseline", false, 1},
+		{"wa", true, cleaners},
+	} {
+		cfg := rc.Base
+		cfg.Allocator.InfraParallel = mode.infra
+		cfg.Allocator.InitialCleaners = mode.cleaners
+		cfg.Allocator.MaxCleaners = mode.cleaners
+		sys, err := wafl.NewSystem(cfg)
+		if err != nil {
+			panic(err)
+		}
+		w := workload.DefaultSeqWrite()
+		w.Attach(sys)
+		res := sys.Measure(rc.Warmup, rc.Window)
+		fmt.Printf("[%s] %s\n", mode.name, res)
+		fmt.Printf("[%s] %s\n", mode.name, sys.InfraStats())
+		fmt.Printf("[%s] cp: %s\n\n", mode.name, sys.CPReport())
+	}
+}

@@ -1,0 +1,117 @@
+// Command waflfs demonstrates the file system end to end: it formats a
+// simulated aggregate, writes files through the client path, takes
+// consistency points, verifies the committed image with fsck, then crashes
+// the system mid-flight and recovers it from the superblock plus NVRAM
+// replay, proving no acknowledged write was lost.
+//
+// Usage:
+//
+//	waflfs            # run the full demo
+//	waflfs -files 8 -blocks 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wafl"
+)
+
+func main() {
+	files := flag.Int("files", 4, "files to create")
+	blocks := flag.Int("blocks", 1200, "blocks written per file")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := wafl.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.PayloadBytes = 4096 // full content verification
+	sys, err := wafl.NewSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("formatted: %d cores, %d RAID groups x %d data drives, %d volumes\n",
+		cfg.Cores, cfg.RAIDGroups, cfg.DataDrives, cfg.Volumes)
+
+	// Phase 1: write files through the client path.
+	inos := make([]uint64, *files)
+	written := make([]int, *files)
+	for i := range inos {
+		vol := i % cfg.Volumes
+		inos[i] = sys.CreateFileDirect(vol, uint64(*blocks)*2)
+		i := i
+		sys.ClientThread(fmt.Sprintf("writer-%d", i), func(c *wafl.ClientCtx) {
+			for fbn := 0; fbn < *blocks && c.Alive(); fbn += 8 {
+				c.Write(vol, inos[i], wafl.FBN(fbn), 8)
+				written[i] = fbn + 8
+			}
+		})
+	}
+	sys.Run(2 * wafl.Second)
+	fmt.Printf("wrote %d files x ~%d blocks; CPs so far: %d\n", *files, *blocks, sys.CPCount())
+
+	// Phase 2: flush and verify the committed image.
+	if err := sys.Flush(); err != nil {
+		fail(err)
+	}
+	rep := sys.Fsck()
+	fmt.Printf("%s\n", rep)
+	if !rep.OK() {
+		for _, e := range rep.Errors {
+			fmt.Fprintln(os.Stderr, "fsck:", e)
+		}
+		fail(fmt.Errorf("fsck failed"))
+	}
+
+	// Phase 3: more writes, then a crash with operations still in NVRAM.
+	fmt.Println("writing more, then crashing mid-flight...")
+	for i := range inos {
+		vol := i % cfg.Volumes
+		i := i
+		sys.ClientThread(fmt.Sprintf("rewriter-%d", i), func(c *wafl.ClientCtx) {
+			for fbn := 0; fbn < *blocks && c.Alive(); fbn += 4 {
+				c.Write(vol, inos[i], wafl.FBN(fbn), 4)
+			}
+		})
+	}
+	sys.Run(40 * wafl.Millisecond)
+	sys.Crash()
+	fmt.Printf("CRASH at t=%v with %d completed CPs\n", sys.Now(), sys.CPCount())
+
+	// Phase 4: recover and verify every acknowledged write.
+	rec, err := sys.Recover()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("recovered: mounted CP %d, NVRAM replayed\n", rec.CPCount())
+	bad := 0
+	checked := 0
+	for i := range inos {
+		vol := i % cfg.Volumes
+		for fbn := 0; fbn < written[i]; fbn++ {
+			if err := rec.VerifyAgainst(vol, inos[i], wafl.FBN(fbn)); err != nil {
+				bad++
+				if bad < 5 {
+					fmt.Fprintln(os.Stderr, "verify:", err)
+				}
+			}
+			checked++
+		}
+	}
+	fmt.Printf("verified %d blocks after recovery: %d mismatches\n", checked, bad)
+	if err := rec.Quiesce(); err != nil {
+		fail(err)
+	}
+	rep = rec.Fsck()
+	fmt.Printf("post-recovery %s\n", rep)
+	if bad > 0 || !rep.OK() {
+		fail(fmt.Errorf("demo failed"))
+	}
+	fmt.Println("OK: all acknowledged writes survived the crash")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "waflfs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Crashrecovery: demonstrate the consistency-point crash contract — a
+// power loss mid-CP loses nothing that was acknowledged: the last committed
+// superblock plus NVRAM log replay reconstruct every logged write, and the
+// recovered image passes a full fsck.
+package main
+
+import (
+	"fmt"
+
+	"wafl"
+)
+
+func main() {
+	cfg := wafl.DefaultConfig()
+	cfg.PayloadBytes = 4096 // store full content so verification is byte-exact
+	sys, err := wafl.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	ino := sys.CreateFileDirect(0, 4096)
+	var acked int
+	sys.ClientThread("writer", func(c *wafl.ClientCtx) {
+		for i := 0; c.Alive() && i < 3000; i++ {
+			c.Write(0, ino, wafl.FBN(i%2048), 2)
+			acked = i + 1
+		}
+	})
+
+	// Crash while CPs are mid-flight and the NVRAM log holds
+	// not-yet-checkpointed operations.
+	sys.Run(120 * wafl.Millisecond)
+	fmt.Printf("crashing at t=%v: %d ops acknowledged, %d CPs committed, NVRAM non-empty\n",
+		sys.Now(), acked, sys.CPCount())
+	sys.Crash()
+
+	rec, err := sys.Recover()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mounted CP %d and replayed the NVRAM log\n", rec.CPCount())
+
+	// Every acknowledged write must be intact.
+	bad := 0
+	for fbn := wafl.FBN(0); fbn < 2048; fbn++ {
+		if rec.VerifyRead(0, ino, fbn) == nil {
+			continue // hole: never written
+		}
+		if err := rec.VerifyAgainst(0, ino, fbn); err != nil {
+			bad++
+		}
+	}
+	fmt.Printf("content check: %d mismatches\n", bad)
+
+	if err := rec.Quiesce(); err != nil {
+		panic(err)
+	}
+	rep := rec.Fsck()
+	fmt.Println("post-recovery", rep)
+	if bad == 0 && rep.OK() {
+		fmt.Println("OK: crash consistency held")
+	}
+}

@@ -1,0 +1,211 @@
+package wafl
+
+import (
+	"bytes"
+	"fmt"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/block"
+	"wafl/internal/fs"
+)
+
+// FsckReport summarizes an offline consistency check of the committed
+// (on-media) file system image.
+type FsckReport struct {
+	ReferencedBlocks uint64 // blocks reachable from the superblock
+	UsedBits         uint64 // bits set in the persisted activemap
+	Leaked           uint64 // used but unreachable (space leak)
+	DoubleRefs       uint64 // blocks referenced by two pointers
+	Missing          uint64 // referenced but not marked used (corruption)
+	ContainerErrs    uint64 // container-map entries disagreeing with trees
+	VVBNErrs         uint64 // volume activemap bits disagreeing with trees
+	Files            uint64
+	Errors           []string
+}
+
+// OK reports whether the image is fully consistent. Leaked blocks are a
+// space bug; Missing and DoubleRefs are corruption.
+func (r FsckReport) OK() bool {
+	return r.Missing == 0 && r.DoubleRefs == 0 && r.Leaked == 0 &&
+		r.ContainerErrs == 0 && r.VVBNErrs == 0 && len(r.Errors) == 0
+}
+
+func (r FsckReport) String() string {
+	return fmt.Sprintf("fsck: refs=%d used=%d leaked=%d double=%d missing=%d containerErrs=%d vvbnErrs=%d files=%d errs=%d",
+		r.ReferencedBlocks, r.UsedBits, r.Leaked, r.DoubleRefs, r.Missing,
+		r.ContainerErrs, r.VVBNErrs, r.Files, len(r.Errors))
+}
+
+// Fsck mounts the committed media image and cross-checks it: every block
+// reachable from the superblock must be marked used in the persisted
+// activemap, every used bit must be reachable (no leaks), no block may be
+// referenced twice, and for user files the container map and volume
+// activemaps must agree with the buffer trees. It never touches the
+// running system's in-memory state.
+func (sys *System) Fsck() FsckReport {
+	var r FsckReport
+	m, err := aggregate.MountFrom(sys.a)
+	if err != nil {
+		r.Errors = append(r.Errors, err.Error())
+		return r
+	}
+	geo := m.Geometry()
+	refs := make(map[block.VBN]int)
+	ref := func(vbn block.VBN, what string) {
+		if vbn == 0 || vbn == block.InvalidVBN {
+			return
+		}
+		refs[vbn]++
+		if refs[vbn] == 2 {
+			r.DoubleRefs++
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("double reference to %v (%s)", vbn, what))
+		}
+	}
+
+	// Reserved stripe-0 blocks are implicitly referenced (vbn 0 holds the
+	// superblock itself).
+	for gi := 0; gi < geo.NumGroups; gi++ {
+		for di := 0; di < geo.DataDrives; di++ {
+			refs[geo.VBNOf(gi, di, 0)] = 1
+		}
+	}
+
+	var walk func(f *fs.File, tag string, onL0 func(idx block.FBN, vvbn block.VVBN, vbn block.VBN))
+	walk = func(f *fs.File, tag string, onL0 func(block.FBN, block.VVBN, block.VBN)) {
+		if f.RootVBN == block.InvalidVBN {
+			return
+		}
+		ref(f.RootVBN, tag+" root")
+		var rec func(level int, idx block.FBN, vbn block.VBN)
+		rec = func(level int, idx block.FBN, vbn block.VBN) {
+			data := m.ReadVBNRaw(vbn)
+			if data == nil {
+				r.Missing++
+				r.Errors = appendCapped(r.Errors, fmt.Sprintf("%s: unreadable block at %v", tag, vbn))
+				return
+			}
+			if level == 0 {
+				return
+			}
+			for i := 0; i < block.PtrsPerBlock; i++ {
+				cvv, cvbn := block.GetPtr(data, i)
+				if cvbn == 0 || cvbn == block.InvalidVBN {
+					continue
+				}
+				childIdx := idx*block.PtrsPerBlock + block.FBN(i)
+				ref(cvbn, fmt.Sprintf("%s L%d", tag, level-1))
+				if level-1 == 0 && onL0 != nil {
+					onL0(childIdx, cvv, cvbn)
+				}
+				rec(level-1, childIdx, cvbn)
+			}
+		}
+		rec(f.Height(), 0, f.RootVBN)
+	}
+
+	walk(m.AmapFile(), "aggr-amap", nil)
+	walk(m.VolTableFile(), "voltable", nil)
+	for _, v := range m.Volumes() {
+		vvbnUsed := make(map[block.VVBN]bool)
+		walk(v.InoFile(), fmt.Sprintf("vol%d-inofile", v.ID()), nil)
+		walk(v.ContainerFile(), fmt.Sprintf("vol%d-container", v.ID()), nil)
+		walk(v.AmapFile(), fmt.Sprintf("vol%d-amap", v.ID()), nil)
+		// User files, from inode records.
+		for ino := uint64(aggregate.FirstUserIno); ino < v.NextIno(); ino++ {
+			f := v.LookupFile(ino)
+			if f == nil {
+				continue
+			}
+			r.Files++
+			tag := fmt.Sprintf("vol%d-ino%d", v.ID(), ino)
+			walk(f, tag, func(idx block.FBN, vvbn block.VVBN, vbn block.VBN) {
+				if vvbn == block.InvalidVVBN {
+					return
+				}
+				if got := v.Container(vvbn); got != vbn {
+					r.ContainerErrs++
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("%s fbn %d: container[%v]=%v want %v", tag, idx, vvbn, got, vbn))
+				}
+				if !v.Activemap.IsSet(uint64(vvbn)) {
+					r.VVBNErrs++
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("%s fbn %d: vvbn %v not marked used", tag, idx, vvbn))
+				}
+				vvbnUsed[vvbn] = true
+			})
+			// Dual-addressed indirect blocks also occupy VVBNs.
+			collectIndirectVVBNs(m, f, vvbnUsed)
+		}
+		// Every used VVBN bit must be referenced by some tree.
+		used := v.Activemap.Used()
+		if uint64(len(vvbnUsed)) != used {
+			r.VVBNErrs += used - uint64(len(vvbnUsed))
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: %d vvbn bits used, %d referenced", v.ID(), used, len(vvbnUsed)))
+		}
+	}
+
+	r.ReferencedBlocks = uint64(len(refs))
+	r.UsedBits = m.Activemap.Used()
+	for vbn := range refs {
+		if !m.Activemap.IsSet(uint64(vbn)) {
+			r.Missing++
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("referenced %v not marked used", vbn))
+		}
+	}
+	if r.UsedBits > r.ReferencedBlocks {
+		r.Leaked = r.UsedBits - r.ReferencedBlocks
+	}
+	return r
+}
+
+// collectIndirectVVBNs walks a file's indirect blocks on media recording
+// their VVBNs.
+func collectIndirectVVBNs(m *aggregate.Aggregate, f *fs.File, out map[block.VVBN]bool) {
+	if f.RootVBN == block.InvalidVBN {
+		return
+	}
+	if f.RootVVBN != block.InvalidVVBN {
+		out[f.RootVVBN] = true
+	}
+	var rec func(level int, vbn block.VBN)
+	rec = func(level int, vbn block.VBN) {
+		if level <= 1 {
+			return
+		}
+		data := m.ReadVBNRaw(vbn)
+		if data == nil {
+			return
+		}
+		for i := 0; i < block.PtrsPerBlock; i++ {
+			cvv, cvbn := block.GetPtr(data, i)
+			if cvbn == 0 || cvbn == block.InvalidVBN {
+				continue
+			}
+			if cvv != block.InvalidVVBN {
+				out[cvv] = true
+			}
+			rec(level-1, cvbn)
+		}
+	}
+	rec(f.Height(), f.RootVBN)
+}
+
+// VerifyAgainst recomputes the expected payload for (ino, fbn) and checks
+// the committed content matches (test helper).
+func (sys *System) VerifyAgainst(vol int, ino uint64, fbn FBN) error {
+	got := sys.VerifyRead(vol, ino, fbn)
+	want := sys.payload(ino, fbn, 0)
+	if got == nil {
+		return fmt.Errorf("vol %d ino %d fbn %d: hole, want data", vol, ino, fbn)
+	}
+	if !bytes.Equal(got[:len(want)], want) {
+		return fmt.Errorf("vol %d ino %d fbn %d: content mismatch", vol, ino, fbn)
+	}
+	return nil
+}
+
+func appendCapped(errs []string, msg string) []string {
+	if len(errs) < 50 {
+		errs = append(errs, msg)
+	}
+	return errs
+}

@@ -1,0 +1,3 @@
+module wafl
+
+go 1.22

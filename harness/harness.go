@@ -1,0 +1,126 @@
+// Package harness runs the paper's experiments (§V, Figures 4-9 and the
+// §V-C batching result) against the simulated storage server and renders
+// the same tables/series the paper reports. Each experiment function
+// returns both machine-readable results (for tests and regression checks)
+// and a formatted table.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"wafl"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Attacher is any workload that can attach clients to a system (the
+// workload package's generators all implement it).
+type Attacher interface {
+	Attach(sys *wafl.System)
+}
+
+// RunConfig bundles the common experiment parameters.
+type RunConfig struct {
+	Base   wafl.Config
+	Warmup wafl.Duration
+	Window wafl.Duration
+}
+
+// DefaultRun returns the standard measurement setup: the paper's 20-core
+// SSD system, measured over a 400ms window after 200ms warmup.
+func DefaultRun() RunConfig {
+	return RunConfig{
+		Base:   wafl.DefaultConfig(),
+		Warmup: 200 * wafl.Millisecond,
+		Window: 400 * wafl.Millisecond,
+	}
+}
+
+// Measure builds a system with cfg, attaches the workload, measures, and
+// tears the system down (the returned *System is only good for reading
+// statistics).
+func Measure(cfg wafl.Config, w Attacher, warmup, window wafl.Duration) (wafl.Results, *wafl.System, error) {
+	sys, err := wafl.NewSystem(cfg)
+	if err != nil {
+		return wafl.Results{}, nil, err
+	}
+	w.Attach(sys)
+	res := sys.Measure(warmup, window)
+	sys.Shutdown()
+	return res, sys, nil
+}
+
+// Knee finds the knee of a load/latency curve by the half-latency rule
+// (Patel, SIGMETRICS PER 2015, the paper's reference [11]): the highest
+// load whose latency does not exceed twice the low-load base latency.
+// Returns the index of the knee point.
+func Knee(latencies []wafl.Duration) int {
+	if len(latencies) == 0 {
+		return -1
+	}
+	base := latencies[0]
+	knee := 0
+	for i, l := range latencies {
+		if l <= 2*base {
+			knee = i
+		}
+	}
+	return knee
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func pct(v, base float64) string {
+	return fmt.Sprintf("%+.0f%%", (v/base-1)*100)
+}
+func ms(d wafl.Duration) string { return fmt.Sprintf("%.3fms", d.Millis()) }
+func us(d wafl.Duration) string { return fmt.Sprintf("%.1fus", d.Micros()) }

@@ -1,0 +1,233 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"wafl/internal/bitmap"
+	"wafl/internal/block"
+	"wafl/internal/fs"
+	"wafl/internal/raid"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+)
+
+// Well-known inode numbers for aggregate-level metafiles. Their records are
+// stored in the superblock, the root of trust.
+const (
+	InoAggrActivemap = 1
+	InoAggrVolTable  = 2
+)
+
+// Config describes an aggregate to create.
+type Config struct {
+	Geometry
+	Profile storage.Profile
+}
+
+// DefaultGeometry mirrors the paper's mid-range testbed shape at simulation
+// scale: two RAID groups of four data drives plus parity (Fig 3 shows a
+// five-data-drive aggregate across two groups).
+var DefaultGeometry = Geometry{
+	NumGroups:  2,
+	DataDrives: 4,
+	Depth:      32768,
+	AAStripes:  2048,
+}
+
+// Aggregate is a shared pool of RAID groups hosting FlexVol volumes.
+type Aggregate struct {
+	s       *sim.Scheduler
+	geo     Geometry
+	profile storage.Profile
+	groups  []*raid.Group
+
+	// Activemap tracks physical VBN allocation; its backing metafile's
+	// blocks live in the aggregate itself.
+	Activemap *bitmap.Activemap
+	amapFile  *fs.File
+	volTable  *fs.File
+
+	// aaFree[group][aa] is the count of free data blocks in each
+	// Allocation Area, maintained incrementally from activemap changes
+	// and used by the infrastructure's AA selection (most-free wins).
+	aaFree [][]int64
+
+	vols    []*Volume
+	cpCount uint64
+}
+
+// New formats a fresh aggregate: builds the RAID groups, the activemap and
+// volume-table metafiles, and reserves the superblock stripe.
+func New(s *sim.Scheduler, cfg Config) (*Aggregate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Aggregate{s: s, geo: cfg.Geometry, profile: cfg.Profile}
+	for gi := 0; gi < cfg.NumGroups; gi++ {
+		a.groups = append(a.groups, raid.NewGroup(s, gi, cfg.DataDrives, cfg.Depth, cfg.Profile))
+	}
+
+	total := cfg.TotalBlocks()
+	amapBlocks := (total + bitmap.BitsPerBlock - 1) / bitmap.BitsPerBlock
+	a.amapFile = fs.NewFile(InoAggrActivemap, fs.HeightFor(amapBlocks+1))
+	a.volTable = fs.NewFile(InoAggrVolTable, fs.HeightFor(64))
+	a.Activemap = bitmap.New(a.amapFile, total)
+
+	a.initAAFree()
+	a.Activemap.OnChange = a.onBitChange
+
+	// Reserve DBN 0 on every data drive: (group 0, drive 0, 0) holds the
+	// superblock; the rest are reserved for symmetry so that stripe 0 is
+	// never allocated. Set (not SetRaw) so the covering activemap blocks
+	// are dirtied and the reservations persist in the first CP.
+	for gi := 0; gi < cfg.NumGroups; gi++ {
+		for di := 0; di < cfg.DataDrives; di++ {
+			a.Activemap.Set(uint64(a.geo.VBNOf(gi, di, 0)))
+		}
+	}
+	return a, nil
+}
+
+func (a *Aggregate) initAAFree() {
+	a.aaFree = make([][]int64, a.geo.NumGroups)
+	per := int64(a.geo.BlocksPerAA())
+	for gi := range a.aaFree {
+		a.aaFree[gi] = make([]int64, a.geo.AAsPerGroup())
+		for aa := range a.aaFree[gi] {
+			a.aaFree[gi][aa] = per
+		}
+	}
+}
+
+func (a *Aggregate) onBitChange(bn uint64, used bool) {
+	g, _, dbn := a.geo.Locate(block.VBN(bn))
+	aa := a.geo.AAOf(dbn)
+	if used {
+		a.aaFree[g][aa]--
+	} else {
+		a.aaFree[g][aa]++
+	}
+}
+
+// Sched returns the simulation scheduler.
+func (a *Aggregate) Sched() *sim.Scheduler { return a.s }
+
+// Geometry returns the aggregate's geometry.
+func (a *Aggregate) Geometry() Geometry { return a.geo }
+
+// Group returns RAID group gi.
+func (a *Aggregate) Group(gi int) *raid.Group { return a.groups[gi] }
+
+// Groups returns the number of RAID groups.
+func (a *Aggregate) Groups() int { return len(a.groups) }
+
+// AmapFile returns the activemap's backing metafile.
+func (a *Aggregate) AmapFile() *fs.File { return a.amapFile }
+
+// VolTableFile returns the volume-table metafile.
+func (a *Aggregate) VolTableFile() *fs.File { return a.volTable }
+
+// CPCount returns the number of completed consistency points.
+func (a *Aggregate) CPCount() uint64 { return a.cpCount }
+
+// SetCPCount is used by the CP engine after a successful commit.
+func (a *Aggregate) SetCPCount(n uint64) { a.cpCount = n }
+
+// Volumes returns the aggregate's volumes.
+func (a *Aggregate) Volumes() []*Volume { return a.vols }
+
+// Volume returns volume vi.
+func (a *Aggregate) Volume(vi int) *Volume { return a.vols[vi] }
+
+// AAFree returns the free-block count of (group, aa).
+func (a *Aggregate) AAFree(group, aa int) int64 { return a.aaFree[group][aa] }
+
+// SelectAA returns the Allocation Area in group with the most free blocks —
+// the paper's AA selection policy (§IV-D). exclude (-1 for none) skips the
+// currently-in-use AA so a refill moves on rather than re-picking a
+// just-exhausted area.
+func (a *Aggregate) SelectAA(group, exclude int) int {
+	best, bestFree := -1, int64(-1)
+	for aa, free := range a.aaFree[group] {
+		if aa == exclude {
+			continue
+		}
+		if free > bestFree {
+			best, bestFree = aa, free
+		}
+	}
+	return best
+}
+
+// SelectAAFirstFit returns the lowest-numbered AA with any free block — the
+// alternative policy used by the AA-selection ablation.
+func (a *Aggregate) SelectAAFirstFit(group, exclude int) int {
+	for aa, free := range a.aaFree[group] {
+		if aa != exclude && free > 0 {
+			return aa
+		}
+	}
+	return -1
+}
+
+// ReadVBNRaw returns the committed media content of vbn without timing
+// effects (mount/verification path). Never-written blocks return nil.
+func (a *Aggregate) ReadVBNRaw(vbn block.VBN) []byte {
+	g, d, dbn := a.geo.Locate(vbn)
+	return a.groups[g].Drive(d).Peek(dbn)
+}
+
+// ReadVBN performs a timed single-block read of vbn, blocking the calling
+// simulated thread for the drive service time.
+func (a *Aggregate) ReadVBN(t *sim.Thread, vbn block.VBN) []byte {
+	g, d, dbn := a.geo.Locate(vbn)
+	bs := a.groups[g].Drive(d).ReadSync(t, []block.DBN{dbn})
+	return bs[0]
+}
+
+// TotalFree returns the aggregate's current free block count (ground truth
+// from the activemap; the loosely-accounted global counter shadows this).
+func (a *Aggregate) TotalFree() uint64 { return a.Activemap.Free() }
+
+// CrashAll drops in-flight I/O on every drive, modelling power loss.
+func (a *Aggregate) CrashAll() {
+	for _, g := range a.groups {
+		for i := 0; i < g.DataDrives(); i++ {
+			g.Drive(i).DropInFlight()
+		}
+		g.ParityDrive().DropInFlight()
+	}
+}
+
+// loadAll eagerly installs every reachable block of f from committed media
+// (untimed; mount path). It walks the tree from the root.
+func (a *Aggregate) loadAll(f *fs.File) {
+	if f.RootVBN == block.InvalidVBN {
+		return
+	}
+	root := a.ReadVBNRaw(f.RootVBN)
+	if root == nil {
+		panic(fmt.Sprintf("aggregate: metafile %d root vbn %v unreadable", f.Ino(), f.RootVBN))
+	}
+	f.InstallBuffer(f.Height(), 0, root, f.RootVVBN, f.RootVBN)
+	a.loadChildren(f, f.Height(), 0, root)
+}
+
+func (a *Aggregate) loadChildren(f *fs.File, level int, idx block.FBN, data []byte) {
+	if level == 0 {
+		return
+	}
+	for i := 0; i < block.PtrsPerBlock; i++ {
+		vvbn, vbn := block.GetPtr(data, i)
+		if vbn == 0 || vbn == block.InvalidVBN {
+			continue // hole
+		}
+		childIdx := idx*block.PtrsPerBlock + block.FBN(i)
+		child := a.ReadVBNRaw(vbn)
+		if child == nil {
+			panic(fmt.Sprintf("aggregate: metafile %d block (level %d, idx %d) at %v unreadable", f.Ino(), level-1, childIdx, vbn))
+		}
+		f.InstallBuffer(level-1, childIdx, child, vvbn, vbn)
+		a.loadChildren(f, level-1, childIdx, child)
+	}
+}

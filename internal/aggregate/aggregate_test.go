@@ -1,0 +1,417 @@
+package aggregate
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"wafl/internal/block"
+	"wafl/internal/fs"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+)
+
+var testGeo = Geometry{NumGroups: 2, DataDrives: 3, Depth: 8192, AAStripes: 1024}
+
+func newTestAggr(t *testing.T) (*sim.Scheduler, *Aggregate) {
+	t.Helper()
+	s := sim.New(4, 1)
+	a, err := New(s, Config{Geometry: testGeo, Profile: storage.SSD})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, a
+}
+
+func TestGeometryRoundTrip(t *testing.T) {
+	fn := func(v uint32) bool {
+		vbn := block.VBN(uint64(v) % testGeo.TotalBlocks())
+		g, d, dbn := testGeo.Locate(vbn)
+		return testGeo.VBNOf(g, d, dbn) == vbn
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryAAMath(t *testing.T) {
+	if testGeo.AAsPerGroup() != 8 {
+		t.Fatalf("AAs per group = %d", testGeo.AAsPerGroup())
+	}
+	if testGeo.AAOf(0) != 0 || testGeo.AAOf(1023) != 0 || testGeo.AAOf(1024) != 1 {
+		t.Fatal("AAOf wrong")
+	}
+	s, e := testGeo.AARange(2)
+	if s != 2048 || e != 3072 {
+		t.Fatalf("AARange = [%d,%d)", s, e)
+	}
+	if testGeo.BlocksPerAA() != 3*1024 {
+		t.Fatal("BlocksPerAA wrong")
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := Geometry{NumGroups: 1, DataDrives: 2, Depth: 1000, AAStripes: 512}
+	if bad.Validate() == nil {
+		t.Fatal("depth not multiple of AA stripes must fail")
+	}
+	if (Geometry{}).Validate() == nil {
+		t.Fatal("zero geometry must fail")
+	}
+	if testGeo.Validate() != nil {
+		t.Fatal("test geometry should validate")
+	}
+}
+
+func TestFormatReservesSuperblockStripe(t *testing.T) {
+	_, a := newTestAggr(t)
+	for gi := 0; gi < testGeo.NumGroups; gi++ {
+		for di := 0; di < testGeo.DataDrives; di++ {
+			if !a.Activemap.IsSet(uint64(testGeo.VBNOf(gi, di, 0))) {
+				t.Fatalf("dbn 0 of (%d,%d) not reserved", gi, di)
+			}
+		}
+	}
+	wantFree := testGeo.TotalBlocks() - uint64(testGeo.NumGroups*testGeo.DataDrives)
+	if a.TotalFree() != wantFree {
+		t.Fatalf("free = %d, want %d", a.TotalFree(), wantFree)
+	}
+}
+
+func TestAAFreeTracking(t *testing.T) {
+	_, a := newTestAggr(t)
+	per := int64(testGeo.BlocksPerAA())
+	// AA 0 of each group lost the reserved stripe-0 blocks.
+	if a.AAFree(0, 0) != per-3 || a.AAFree(1, 0) != per-3 {
+		t.Fatalf("AA0 free = %d,%d", a.AAFree(0, 0), a.AAFree(1, 0))
+	}
+	vbn := uint64(testGeo.VBNOf(0, 1, 2048)) // group 0, AA 2
+	a.Activemap.Set(vbn)
+	if a.AAFree(0, 2) != per-1 {
+		t.Fatalf("AA2 free = %d", a.AAFree(0, 2))
+	}
+	a.Activemap.Clear(vbn)
+	if a.AAFree(0, 2) != per {
+		t.Fatalf("AA2 free after clear = %d", a.AAFree(0, 2))
+	}
+}
+
+func TestSelectAAMostFree(t *testing.T) {
+	_, a := newTestAggr(t)
+	// Consume blocks in AA 0..6 of group 0, leaving AA 7 fullest.
+	for aa := 0; aa < 7; aa++ {
+		start, _ := testGeo.AARange(aa)
+		for i := block.DBN(0); i < block.DBN(10*(aa+1)); i++ {
+			dbn := start + i + 1 // skip reserved stripe 0
+			a.Activemap.Set(uint64(testGeo.VBNOf(0, 0, dbn)))
+		}
+	}
+	if got := a.SelectAA(0, -1); got != 7 {
+		t.Fatalf("SelectAA = %d, want 7", got)
+	}
+	if got := a.SelectAA(0, 7); got == 7 {
+		t.Fatal("exclude ignored")
+	}
+	if got := a.SelectAAFirstFit(0, -1); got != 0 {
+		t.Fatalf("first fit = %d, want 0", got)
+	}
+	if got := a.SelectAAFirstFit(0, 0); got != 1 {
+		t.Fatalf("first fit excluding 0 = %d, want 1", got)
+	}
+}
+
+func TestAAFreeMatchesBitmapRecount(t *testing.T) {
+	_, a := newTestAggr(t)
+	rng := a.Sched().Rand()
+	for i := 0; i < 5000; i++ {
+		bn := uint64(rng.Int63n(int64(testGeo.TotalBlocks())))
+		if a.Activemap.IsSet(bn) {
+			continue
+		}
+		a.Activemap.Set(bn)
+	}
+	for gi := 0; gi < testGeo.NumGroups; gi++ {
+		for aa := 0; aa < testGeo.AAsPerGroup(); aa++ {
+			s, e := testGeo.AARange(aa)
+			var want int64
+			for di := 0; di < testGeo.DataDrives; di++ {
+				lo := uint64(testGeo.VBNOf(gi, di, s))
+				hi := uint64(testGeo.VBNOf(gi, di, e-1)) + 1
+				n, _ := a.Activemap.CountFree(lo, hi)
+				want += int64(n)
+			}
+			if got := a.AAFree(gi, aa); got != want {
+				t.Fatalf("aaFree[%d][%d] = %d, recount = %d", gi, aa, got, want)
+			}
+		}
+	}
+}
+
+func TestVolumeCreateAndContainer(t *testing.T) {
+	_, a := newTestAggr(t)
+	v := a.AddVolume(1 << 16)
+	f := v.CreateFile(1 << 12)
+	if f.Ino() != FirstUserIno {
+		t.Fatalf("first ino = %d", f.Ino())
+	}
+	g := v.CreateFile(100)
+	if g.Ino() != FirstUserIno+1 || g.Height() != 1 {
+		t.Fatalf("second file ino=%d height=%d", g.Ino(), g.Height())
+	}
+	v.SetContainer(700, 12345)
+	if got := v.Container(700); got != 12345 {
+		t.Fatalf("container = %v", got)
+	}
+	if got := v.Container(701); got != 0 {
+		t.Fatalf("unset container = %v", got)
+	}
+}
+
+// testCheckpoint is a miniature, single-threaded consistency point used to
+// exercise persistence and mount before the real CP engine exists: it
+// allocates VBNs with a forward cursor, writes CP images directly to the
+// drives (synchronously, bypassing tetris batching), and skips frees
+// (leaking old blocks, which mount does not care about).
+type testCheckpoint struct {
+	t      *testing.T
+	s      *sim.Scheduler
+	a      *Aggregate
+	cursor uint64
+	err    string
+}
+
+// findVBN returns the next free VBN at the cursor without claiming it.
+func (c *testCheckpoint) findVBN() block.VBN {
+	for {
+		c.cursor++
+		if c.cursor >= c.a.geo.TotalBlocks() {
+			c.err = "test checkpoint out of space"
+			return block.InvalidVBN
+		}
+		if !c.a.Activemap.IsSet(c.cursor) {
+			return block.VBN(c.cursor)
+		}
+	}
+}
+
+func (c *testCheckpoint) allocVBN() block.VBN {
+	vbn := c.findVBN()
+	if vbn != block.InvalidVBN {
+		c.a.Activemap.Set(uint64(vbn))
+	}
+	return vbn
+}
+
+func (c *testCheckpoint) writeVBN(th *sim.Thread, vbn block.VBN, data []byte) {
+	g, d, dbn := c.a.geo.Locate(vbn)
+	c.a.Group(g).Drive(d).WriteSync(th, []storage.WriteReq{{DBN: dbn, Data: data}})
+}
+
+func (c *testCheckpoint) cleanFile(th *sim.Thread, f *fs.File, dual bool, v *Volume) {
+	for round := 0; round < 50 && f.FrozenCount() > 0; round++ {
+		for level := 0; level <= f.Height(); level++ {
+			for _, b := range f.FrozenLevel(level) {
+				vvbn := block.InvalidVVBN
+				if dual && v != nil {
+					// Allocate a VVBN with a simple cursor too.
+					for bn := uint64(1); ; bn++ {
+						if !v.Activemap.IsSet(bn) {
+							v.Activemap.Set(bn)
+							vvbn = block.VVBN(bn)
+							break
+						}
+					}
+				}
+				vbn := c.allocVBN()
+				img := b.CPImage()
+				f.CleanChild(b, vvbn, vbn)
+				c.writeVBN(th, vbn, img)
+				if dual && v != nil {
+					v.SetContainer(vvbn, vbn)
+				}
+			}
+		}
+	}
+	if f.FrozenCount() > 0 {
+		c.err = fmt.Sprintf("file %d did not converge", f.Ino())
+	}
+}
+
+// run performs the full mini-CP on the calling sim thread.
+func (c *testCheckpoint) run(th *sim.Thread) {
+	a := c.a
+	for _, v := range a.Volumes() {
+		files := v.FreezeAll()
+		for _, f := range files {
+			c.cleanFile(th, f, true, v)
+			v.WriteRecord(f)
+		}
+		for _, mf := range v.Metafiles() {
+			c.cleanFile(th, mf, false, nil)
+		}
+	}
+	a.WriteVolumeEntries()
+	c.cleanFile(th, a.VolTableFile(), false, nil)
+	// The activemap is self-referential: use the flush planner.
+	writes := a.PlanAmapFlush(c.findVBN)
+	for _, w := range writes {
+		c.writeVBN(th, w.VBN, w.Data)
+	}
+	a.SetCPCount(a.CPCount() + 1)
+	a.WriteSuperblock(th)
+}
+
+// check fails the test if the mini-CP recorded an error.
+func (c *testCheckpoint) check() {
+	c.t.Helper()
+	if c.err != "" {
+		c.t.Fatal(c.err)
+	}
+}
+
+func pattern(tag byte) []byte {
+	b := make([]byte, block.Size)
+	for i := range b {
+		b[i] = tag ^ byte(i*7)
+	}
+	return b
+}
+
+func TestCheckpointMountRoundTrip(t *testing.T) {
+	s, a := newTestAggr(t)
+	v := a.AddVolume(1 << 16)
+	f := v.CreateFile(1 << 12)
+	f.WriteBlock(0, pattern(1))
+	f.WriteBlock(5, pattern(2))
+	f.WriteBlock(300, pattern(3))
+	v.MarkDirty(f)
+	empty := v.CreateFile(100) // created, never written: record must persist
+
+	cp := &testCheckpoint{t: t, s: s, a: a}
+	s.Go("cp", sim.CatCP, func(th *sim.Thread) { cp.run(th) })
+	s.Run(sim.Time(10 * sim.Second))
+	cp.check()
+
+	// Crash: drop all volatile state, remount from media.
+	a.CrashAll()
+	m, err := MountFrom(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CPCount() != 1 {
+		t.Fatalf("cp count = %d", m.CPCount())
+	}
+	mv := m.Volume(0)
+	if mv.VVBNBlocks() != 1<<16 || mv.NextIno() != FirstUserIno+2 {
+		t.Fatalf("volume fields: vvbn=%d nextIno=%d", mv.VVBNBlocks(), mv.NextIno())
+	}
+	mf := mv.LookupFile(f.Ino())
+	if mf == nil {
+		t.Fatal("file lost")
+	}
+	for fbn, want := range map[block.FBN][]byte{0: pattern(1), 5: pattern(2), 300: pattern(3)} {
+		got := mv.ReadFileBlock(nil, mf, fbn)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fbn %d content mismatch after mount", fbn)
+		}
+	}
+	if mv.ReadFileBlock(nil, mf, 7) != nil {
+		t.Fatal("hole should read nil")
+	}
+	me := mv.LookupFile(empty.Ino())
+	if me == nil {
+		t.Fatal("empty created file's record lost")
+	}
+	if mv.LookupFile(999) != nil {
+		t.Fatal("nonexistent ino should return nil")
+	}
+	// Container map must agree with the file's pointers.
+	b0 := mf.Buffer(0, 0)
+	if b0 == nil || mv.Container(b0.VVBN()) != b0.VBN() {
+		t.Fatal("container map inconsistent with file pointer")
+	}
+}
+
+func TestMountPreservesBitmapState(t *testing.T) {
+	s, a := newTestAggr(t)
+	v := a.AddVolume(1 << 16)
+	f := v.CreateFile(1000)
+	for fbn := block.FBN(0); fbn < 50; fbn++ {
+		f.WriteBlock(fbn, pattern(byte(fbn)))
+	}
+	v.MarkDirty(f)
+	cp := &testCheckpoint{t: t, s: s, a: a}
+	s.Go("cp", sim.CatCP, func(th *sim.Thread) { cp.run(th) })
+	s.Run(sim.Time(10 * sim.Second))
+	cp.check()
+	usedBefore := a.Activemap.Used()
+
+	a.CrashAll()
+	m, err := MountFrom(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Activemap.Used() != usedBefore {
+		t.Fatalf("used blocks %d != %d after mount", m.Activemap.Used(), usedBefore)
+	}
+	// Per-AA counts must be consistent with the recount.
+	for gi := 0; gi < testGeo.NumGroups; gi++ {
+		for aa := 0; aa < testGeo.AAsPerGroup(); aa++ {
+			if m.AAFree(gi, aa) != a.AAFree(gi, aa) {
+				t.Fatalf("aaFree[%d][%d] mismatch after mount", gi, aa)
+			}
+		}
+	}
+}
+
+func TestMountFailsWithoutSuperblock(t *testing.T) {
+	_, a := newTestAggr(t)
+	if _, err := MountFrom(a); err == nil {
+		t.Fatal("mount of unformatted media must fail")
+	}
+}
+
+func TestMountFailsOnCorruptSuperblock(t *testing.T) {
+	s, a := newTestAggr(t)
+	v := a.AddVolume(1 << 16)
+	f := v.CreateFile(100)
+	f.WriteBlock(0, pattern(1))
+	v.MarkDirty(f)
+	cp := &testCheckpoint{t: t, s: s, a: a}
+	s.Go("cp", sim.CatCP, func(th *sim.Thread) { cp.run(th) })
+	s.Run(sim.Time(10 * sim.Second))
+	cp.check()
+
+	// Corrupt the superblock checksum region.
+	sb := a.ReadVBNRaw(a.geo.VBNOf(0, 0, 0))
+	bad := block.Clone(sb)
+	bad[100] ^= 0xFF
+	s.Go("corrupt", sim.CatOther, func(th *sim.Thread) {
+		a.Group(0).Drive(0).WriteSync(th, []storage.WriteReq{{DBN: 0, Data: bad}})
+	})
+	s.Run(sim.Time(20 * sim.Second))
+	if _, err := MountFrom(a); err == nil {
+		t.Fatal("mount must reject corrupt superblock")
+	}
+}
+
+func TestRaidParityConsistentAfterCheckpoint(t *testing.T) {
+	// The mini-CP bypasses tetris/parity, so this only checks that
+	// VerifyStripe tolerates data written without parity when
+	// reconstructing is not claimed. Full parity verification happens in
+	// the core allocator tests. Here we just ensure media reads work via
+	// the RAID accessors used by mount.
+	s, a := newTestAggr(t)
+	v := a.AddVolume(1 << 16)
+	f := v.CreateFile(100)
+	f.WriteBlock(0, pattern(9))
+	v.MarkDirty(f)
+	cp := &testCheckpoint{t: t, s: s, a: a}
+	s.Go("cp", sim.CatCP, func(th *sim.Thread) { cp.run(th) })
+	s.Run(sim.Time(10 * sim.Second))
+	cp.check()
+	if a.ReadVBNRaw(a.geo.VBNOf(0, 0, 0)) == nil {
+		t.Fatal("superblock unreadable through geometry accessor")
+	}
+}

@@ -1,0 +1,480 @@
+package aggregate
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wafl/internal/bitmap"
+	"wafl/internal/block"
+	"wafl/internal/fs"
+	"wafl/internal/sim"
+)
+
+// VolEntrySize is the on-disk size of a volume-table entry: a header plus
+// the records of the volume's three metafiles.
+const VolEntrySize = 256
+
+// VolEntriesPerBlock is the number of volume entries per volume-table block.
+const VolEntriesPerBlock = block.Size / VolEntrySize
+
+// ContainerEntriesPerBlock is the number of vvbn->pvbn map entries per
+// container-file block.
+const ContainerEntriesPerBlock = block.Size / 8
+
+// Well-known per-volume metafile inode numbers (user files start at
+// FirstUserIno).
+const (
+	inoVolInofile   = 1
+	inoVolContainer = 2
+	inoVolActivemap = 3
+	// FirstUserIno is the first inode number handed to user files.
+	FirstUserIno = 16
+)
+
+// Volume is a FlexVol: a virtual VVBN block space inside the aggregate,
+// with its own activemap, container map (vvbn->pvbn), and inode file. All
+// volume metafiles are physical-only files (VBN addressed); user file
+// blocks are dual-addressed (VVBN + VBN).
+type Volume struct {
+	id         int
+	aggr       *Aggregate
+	vvbnBlocks uint64
+
+	Activemap *bitmap.Activemap // VVBN allocation state
+	amapFile  *fs.File
+	container *fs.File
+	inofile   *fs.File
+
+	files   map[uint64]*fs.File
+	nextIno uint64
+
+	// dirty user files in the open generation, and inodes whose records
+	// must be (re)written in the next CP even if no blocks are dirty
+	// (fresh creates).
+	dirty       map[uint64]*fs.File
+	recordDirty map[uint64]*fs.File
+
+	// zombies are deleted files awaiting space reclamation: WAFL defers
+	// freeing a deleted file's blocks to consistency-point processing.
+	// deleted guards against resurrecting an inode from its still-on-disk
+	// record between the delete and the CP that clears it.
+	zombies []*fs.File
+	deleted map[uint64]bool
+}
+
+// AddVolume creates and formats a new volume of vvbnBlocks virtual blocks.
+func (a *Aggregate) AddVolume(vvbnBlocks uint64) *Volume {
+	v := &Volume{
+		id:          len(a.vols),
+		aggr:        a,
+		vvbnBlocks:  vvbnBlocks,
+		files:       make(map[uint64]*fs.File),
+		nextIno:     FirstUserIno,
+		dirty:       make(map[uint64]*fs.File),
+		recordDirty: make(map[uint64]*fs.File),
+		deleted:     make(map[uint64]bool),
+	}
+	amapBlocks := (vvbnBlocks + bitmap.BitsPerBlock - 1) / bitmap.BitsPerBlock
+	v.amapFile = fs.NewFile(inoVolActivemap, fs.HeightFor(amapBlocks+1))
+	contBlocks := (vvbnBlocks + ContainerEntriesPerBlock - 1) / ContainerEntriesPerBlock
+	v.container = fs.NewFile(inoVolContainer, fs.HeightFor(contBlocks+1))
+	v.inofile = fs.NewFile(inoVolInofile, fs.HeightFor(1<<16))
+	v.Activemap = bitmap.New(v.amapFile, vvbnBlocks)
+	a.vols = append(a.vols, v)
+	return v
+}
+
+// ID returns the volume's index in the aggregate.
+func (v *Volume) ID() int { return v.id }
+
+// Aggr returns the owning aggregate.
+func (v *Volume) Aggr() *Aggregate { return v.aggr }
+
+// VVBNBlocks returns the size of the volume's virtual block space.
+func (v *Volume) VVBNBlocks() uint64 { return v.vvbnBlocks }
+
+// AmapFile returns the volume activemap's backing metafile.
+func (v *Volume) AmapFile() *fs.File { return v.amapFile }
+
+// ContainerFile returns the container-map metafile.
+func (v *Volume) ContainerFile() *fs.File { return v.container }
+
+// InoFile returns the inode-file metafile.
+func (v *Volume) InoFile() *fs.File { return v.inofile }
+
+// Metafiles returns the volume's three metafiles.
+func (v *Volume) Metafiles() []*fs.File {
+	return []*fs.File{v.inofile, v.container, v.amapFile}
+}
+
+// SetContainer records that vvbn now lives at pvbn, dirtying the owning
+// container block into the running CP. The infrastructure calls this while
+// committing used volume buckets.
+func (v *Volume) SetContainer(vvbn block.VVBN, pvbn block.VBN) {
+	fbn := block.FBN(uint64(vvbn) / ContainerEntriesPerBlock)
+	buf := v.container.GetOrCreateL0(fbn)
+	d := buf.CPMutableData()
+	off := (uint64(vvbn) % ContainerEntriesPerBlock) * 8
+	binary.LittleEndian.PutUint64(d[off:], uint64(pvbn))
+	v.container.DirtyIntoCP(buf)
+}
+
+// Container returns the physical location recorded for vvbn (0 if none).
+func (v *Volume) Container(vvbn block.VVBN) block.VBN {
+	fbn := block.FBN(uint64(vvbn) / ContainerEntriesPerBlock)
+	buf := v.container.Buffer(0, fbn)
+	if buf == nil {
+		return 0
+	}
+	off := (uint64(vvbn) % ContainerEntriesPerBlock) * 8
+	return block.VBN(binary.LittleEndian.Uint64(buf.Data()[off:]))
+}
+
+// CreateFile allocates a new user file able to hold maxBlocks blocks. The
+// inode record is persisted in the next CP.
+func (v *Volume) CreateFile(maxBlocks uint64) *fs.File {
+	ino := v.nextIno
+	v.nextIno++
+	f := fs.NewFile(ino, fs.HeightFor(maxBlocks))
+	v.files[ino] = f
+	v.recordDirty[ino] = f
+	return f
+}
+
+// CreateFileAt recreates a file at a specific inode number — the NVRAM
+// replay path, which must be idempotent (the create may already have been
+// persisted by a CP that completed during the op).
+func (v *Volume) CreateFileAt(ino uint64, maxBlocks uint64) *fs.File {
+	if f := v.LookupFile(ino); f != nil {
+		if ino >= v.nextIno {
+			v.nextIno = ino + 1
+		}
+		return f
+	}
+	f := fs.NewFile(ino, fs.HeightFor(maxBlocks))
+	v.files[ino] = f
+	v.recordDirty[ino] = f
+	if ino >= v.nextIno {
+		v.nextIno = ino + 1
+	}
+	return f
+}
+
+// MarkRecordDirty forces the file's inode record to be rewritten in the
+// next CP (attribute-only changes).
+func (v *Volume) MarkRecordDirty(f *fs.File) {
+	v.recordDirty[f.Ino()] = f
+}
+
+// DeleteFile removes a file: it disappears from the namespace immediately,
+// its un-persisted dirty state is dropped, and the file becomes a zombie
+// whose on-disk blocks are reclaimed by the next consistency point —
+// WAFL's deferred deletion. Idempotent; returns false if the inode is not
+// in use.
+func (v *Volume) DeleteFile(ino uint64) bool {
+	f := v.LookupFile(ino)
+	if f == nil {
+		return false
+	}
+	delete(v.files, ino)
+	delete(v.dirty, ino)
+	delete(v.recordDirty, ino)
+	v.deleted[ino] = true
+	v.zombies = append(v.zombies, f)
+	return true
+}
+
+// TakeZombies returns and clears the pending zombie list (CP start).
+func (v *Volume) TakeZombies() []*fs.File {
+	z := v.zombies
+	v.zombies = nil
+	return z
+}
+
+// DeferZombie re-queues a zombie for the next CP. The engine defers a
+// zombie whose file is frozen into the running CP: its tree is mid-clean,
+// so the walkable on-media image (and the record the CP will write) only
+// stabilizes when this CP commits.
+func (v *Volume) DeferZombie(f *fs.File) {
+	v.zombies = append(v.zombies, f)
+}
+
+// ZombieBlocks walks a zombie file's persisted tree on committed media and
+// returns every physical block it occupies and every virtual block it
+// holds in the volume's VVBN space. The walk's cost in metafile reads is
+// returned as a block count for CPU charging.
+func (v *Volume) ZombieBlocks(f *fs.File) (pvbns []uint64, vvbns []uint64, walked int) {
+	if f.RootVBN == block.InvalidVBN {
+		return nil, nil, 0
+	}
+	pvbns = append(pvbns, uint64(f.RootVBN))
+	if f.RootVVBN != block.InvalidVVBN {
+		vvbns = append(vvbns, uint64(f.RootVVBN))
+	}
+	var rec func(level int, vbn block.VBN)
+	rec = func(level int, vbn block.VBN) {
+		walked++
+		if level == 0 {
+			return
+		}
+		data := v.aggr.ReadVBNRaw(vbn)
+		if data == nil {
+			return
+		}
+		for i := 0; i < block.PtrsPerBlock; i++ {
+			cvv, cvbn := block.GetPtr(data, i)
+			if cvbn == 0 || cvbn == block.InvalidVBN {
+				continue
+			}
+			pvbns = append(pvbns, uint64(cvbn))
+			if cvv != block.InvalidVVBN {
+				vvbns = append(vvbns, uint64(cvv))
+			}
+			rec(level-1, cvbn)
+		}
+	}
+	rec(f.Height(), f.RootVBN)
+	return pvbns, vvbns, walked
+}
+
+// ClearRecord wipes a deleted inode's record in the inode file (CP-side)
+// and lifts the resurrection guard (the on-disk record is gone with this
+// CP).
+func (v *Volume) ClearRecord(ino uint64) {
+	fbn, off := fs.RecordLocation(ino)
+	buf := v.inofile.GetOrCreateL0(fbn)
+	d := buf.CPMutableData()
+	for i := 0; i < fs.RecordSize; i++ {
+		d[off+i] = 0
+	}
+	v.inofile.DirtyIntoCP(buf)
+	delete(v.deleted, ino)
+}
+
+// LookupFile returns the in-memory file for ino, loading its record from
+// the inode file if needed (post-mount path). Returns nil if the inode is
+// not in use.
+func (v *Volume) LookupFile(ino uint64) *fs.File {
+	if f, ok := v.files[ino]; ok {
+		return f
+	}
+	if v.deleted[ino] {
+		return nil
+	}
+	fbn, off := fs.RecordLocation(ino)
+	buf := v.inofile.Buffer(0, fbn)
+	if buf == nil {
+		return nil
+	}
+	rec := fs.DecodeRecord(buf.Data()[off:])
+	if rec.Flags&fs.FlagInUse == 0 || rec.Ino != ino {
+		return nil
+	}
+	f := fs.FileFromRecord(rec)
+	v.files[ino] = f
+	return f
+}
+
+// MarkDirty adds f to the volume's dirty-inode list for the next CP.
+func (v *Volume) MarkDirty(f *fs.File) {
+	v.dirty[f.Ino()] = f
+}
+
+// DirtyFiles returns the number of user files dirty in the open generation.
+func (v *Volume) DirtyFiles() int { return len(v.dirty) }
+
+// FreezeAll freezes every dirty user file for the starting CP and returns
+// the frozen inode list (sorted by ino for determinism). Files with only a
+// record change (fresh creates) are included with zero frozen buffers.
+func (v *Volume) FreezeAll() []*fs.File {
+	seen := make(map[uint64]*fs.File, len(v.dirty)+len(v.recordDirty))
+	for ino, f := range v.dirty {
+		f.Freeze()
+		seen[ino] = f
+	}
+	for ino, f := range v.recordDirty {
+		if _, ok := seen[ino]; !ok {
+			seen[ino] = f
+		}
+	}
+	v.dirty = make(map[uint64]*fs.File)
+	v.recordDirty = make(map[uint64]*fs.File)
+	out := make([]*fs.File, 0, len(seen))
+	for _, f := range seen {
+		out = append(out, f)
+	}
+	sortFilesByIno(out)
+	return out
+}
+
+func sortFilesByIno(fs []*fs.File) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j-1].Ino() > fs[j].Ino(); j-- {
+			fs[j-1], fs[j] = fs[j], fs[j-1]
+		}
+	}
+}
+
+// WriteRecord serializes f's current record into the inode file, dirtying
+// the owning inofile block into the running CP. The CP engine calls this
+// after f has been fully cleaned (so the root pointer is final).
+func (v *Volume) WriteRecord(f *fs.File) {
+	fbn, off := fs.RecordLocation(f.Ino())
+	buf := v.inofile.GetOrCreateL0(fbn)
+	d := buf.CPMutableData()
+	fs.EncodeRecord(d[off:], f.RecordOf(0))
+	v.inofile.DirtyIntoCP(buf)
+}
+
+// EnsurePathResident installs the indirect-block path covering fbn from
+// committed media (untimed), so that cleaning can update real parent
+// blocks. It is a no-op for files that have never been written to disk.
+func (v *Volume) EnsurePathResident(f *fs.File, fbn block.FBN) {
+	if f.RootVBN == block.InvalidVBN {
+		return
+	}
+	if f.Buffer(f.Height(), 0) == nil {
+		data := v.aggr.ReadVBNRaw(f.RootVBN)
+		if data == nil {
+			panic(fmt.Sprintf("volume %d: ino %d root %v unreadable", v.id, f.Ino(), f.RootVBN))
+		}
+		f.InstallBuffer(f.Height(), 0, data, f.RootVVBN, f.RootVBN)
+	}
+	for level := f.Height(); level > 1; level-- {
+		idx := fbn >> (8 * uint(level))
+		parent := f.Buffer(level, idx)
+		if parent == nil {
+			return // hole higher up: nothing persisted below
+		}
+		childIdx := fbn >> (8 * uint(level-1))
+		if f.Buffer(level-1, childIdx) != nil {
+			continue
+		}
+		vvbn, vbn := fs.PtrAt(parent, int(childIdx&(block.PtrsPerBlock-1)))
+		if vbn == 0 || vbn == block.InvalidVBN {
+			continue // hole: child never persisted
+		}
+		data := v.aggr.ReadVBNRaw(vbn)
+		if data == nil {
+			panic(fmt.Sprintf("volume %d: ino %d indirect at %v unreadable", v.id, f.Ino(), vbn))
+		}
+		f.InstallBuffer(level-1, childIdx, data, vvbn, vbn)
+	}
+}
+
+// EnsureL0Resident makes f's L0 buffer for fbn resident ahead of an
+// overwrite: if the block exists on committed media, its content and —
+// critically — its current (vvbn, vbn) addresses are installed, so that
+// cleaning the overwrite frees the old location instead of leaking it.
+// No-op for holes and already-resident blocks.
+func (v *Volume) EnsureL0Resident(f *fs.File, fbn block.FBN) {
+	if f.Buffer(0, fbn) != nil || f.RootVBN == block.InvalidVBN {
+		return
+	}
+	v.EnsurePathResident(f, fbn)
+	if f.Height() < 1 {
+		return
+	}
+	parent := f.Buffer(1, fbn>>8)
+	if parent == nil {
+		return
+	}
+	vvbn, vbn := fs.PtrAt(parent, int(fbn&(block.PtrsPerBlock-1)))
+	if vbn == 0 || vbn == block.InvalidVBN {
+		return // hole
+	}
+	data := v.aggr.ReadVBNRaw(vbn)
+	f.InstallBuffer(0, fbn, data, vvbn, vbn)
+}
+
+// ReadFileBlock returns the content of f's block fbn, demand-loading from
+// media. If t is non-nil the loads are timed drive reads; otherwise they
+// are untimed (verification path). A nil return means a hole.
+func (v *Volume) ReadFileBlock(t *sim.Thread, f *fs.File, fbn block.FBN) []byte {
+	if data := f.ReadBlock(fbn); data != nil {
+		return data
+	}
+	v.EnsurePathResident(f, fbn)
+	// The L1 parent now resident (if it exists on disk); read the L0.
+	if f.Height() >= 1 {
+		parent := f.Buffer(1, fbn>>8)
+		if parent == nil {
+			return nil // hole
+		}
+		vvbn, vbn := fs.PtrAt(parent, int(fbn&(block.PtrsPerBlock-1)))
+		if vbn == 0 || vbn == block.InvalidVBN {
+			return nil // hole
+		}
+		var data []byte
+		if t != nil {
+			data = v.aggr.ReadVBN(t, vbn)
+		} else {
+			data = v.aggr.ReadVBNRaw(vbn)
+		}
+		if data == nil {
+			panic(fmt.Sprintf("volume %d: ino %d L0 fbn %d at %v unreadable", v.id, f.Ino(), fbn, vbn))
+		}
+		f.InstallBuffer(0, fbn, data, vvbn, vbn)
+		return data
+	}
+	return nil
+}
+
+// NextIno returns the next inode number to be assigned (persisted in the
+// volume-table entry).
+func (v *Volume) NextIno() uint64 { return v.nextIno }
+
+// encodeEntry serializes the volume's persistent state into a volume-table
+// entry.
+func (v *Volume) encodeEntry(dst []byte) {
+	for i := range dst[:VolEntrySize] {
+		dst[i] = 0
+	}
+	binary.LittleEndian.PutUint64(dst[0:], uint64(v.id))
+	binary.LittleEndian.PutUint64(dst[8:], v.vvbnBlocks)
+	binary.LittleEndian.PutUint64(dst[16:], v.nextIno)
+	binary.LittleEndian.PutUint32(dst[24:], 1) // in use
+	fs.EncodeRecord(dst[64:], v.inofile.RecordOf(fs.FlagMetafile))
+	fs.EncodeRecord(dst[128:], v.container.RecordOf(fs.FlagMetafile))
+	fs.EncodeRecord(dst[192:], v.amapFile.RecordOf(fs.FlagMetafile))
+}
+
+// WriteVolumeEntries serializes every volume's entry into the volume table,
+// dirtying the affected blocks into the running CP. Called by the CP engine
+// after volume metafiles are cleaned.
+func (a *Aggregate) WriteVolumeEntries() {
+	for _, v := range a.vols {
+		fbn := block.FBN(v.id / VolEntriesPerBlock)
+		buf := a.volTable.GetOrCreateL0(fbn)
+		d := buf.CPMutableData()
+		off := (v.id % VolEntriesPerBlock) * VolEntrySize
+		v.encodeEntry(d[off:])
+		a.volTable.DirtyIntoCP(buf)
+	}
+}
+
+// decodeVolume rebuilds a volume skeleton from its table entry (mount
+// path), eagerly loading its metafiles and rebinding the activemap.
+func (a *Aggregate) decodeVolume(src []byte) *Volume {
+	if binary.LittleEndian.Uint32(src[24:]) == 0 {
+		return nil
+	}
+	v := &Volume{
+		id:          int(binary.LittleEndian.Uint64(src[0:])),
+		aggr:        a,
+		vvbnBlocks:  binary.LittleEndian.Uint64(src[8:]),
+		nextIno:     binary.LittleEndian.Uint64(src[16:]),
+		files:       make(map[uint64]*fs.File),
+		dirty:       make(map[uint64]*fs.File),
+		recordDirty: make(map[uint64]*fs.File),
+		deleted:     make(map[uint64]bool),
+	}
+	v.inofile = fs.FileFromRecord(fs.DecodeRecord(src[64:]))
+	v.container = fs.FileFromRecord(fs.DecodeRecord(src[128:]))
+	v.amapFile = fs.FileFromRecord(fs.DecodeRecord(src[192:]))
+	a.loadAll(v.inofile)
+	a.loadAll(v.container)
+	a.loadAll(v.amapFile)
+	v.Activemap = bitmap.Rebind(v.amapFile, v.vvbnBlocks)
+	return v
+}

@@ -1,0 +1,209 @@
+// Package bitmap implements WAFL-style allocation bitmaps ("activemaps"):
+// one bit per block of an address space (physical VBNs of an aggregate or
+// virtual VVBNs of a FlexVol volume), stored in the L0 blocks of a metafile.
+// Allocations and frees toggle bits through the consistency-point mutation
+// path, so every change dirties the owning metafile block into the running
+// CP — which is precisely the metafile-update load that the White Alligator
+// infrastructure exists to parallelize (paper §III-C, §IV-B2).
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"wafl/internal/block"
+	"wafl/internal/fs"
+)
+
+// BitsPerBlock is the number of block-state bits per metafile block.
+const BitsPerBlock = block.Size * 8 // 32768
+
+// Activemap is an allocation bitmap over [0, nbits) backed by a metafile.
+// A set bit means the block is in use.
+type Activemap struct {
+	file  *fs.File
+	nbits uint64
+	free  uint64
+
+	// OnChange, if set, observes every bit transition (used by the
+	// aggregate to maintain per-Allocation-Area free counts).
+	OnChange func(bn uint64, used bool)
+
+	// statistics
+	SetOps, ClearOps uint64
+}
+
+// New creates an all-free activemap of nbits bits backed by file.
+func New(file *fs.File, nbits uint64) *Activemap {
+	need := (nbits + BitsPerBlock - 1) / BitsPerBlock
+	if need > file.MaxBlocks() {
+		panic(fmt.Sprintf("bitmap: metafile too small: need %d blocks, capacity %d", need, file.MaxBlocks()))
+	}
+	return &Activemap{file: file, nbits: nbits, free: nbits}
+}
+
+// Rebind attaches the activemap to a (re-mounted) metafile and recomputes
+// the free count from its contents — the mount-time rebuild path.
+func Rebind(file *fs.File, nbits uint64) *Activemap {
+	a := New(file, nbits)
+	a.free = 0
+	for bn := uint64(0); bn < nbits; bn++ {
+		if !a.IsSet(bn) {
+			a.free++
+		}
+	}
+	return a
+}
+
+// File returns the backing metafile.
+func (a *Activemap) File() *fs.File { return a.file }
+
+// Bits returns the size of the tracked address space.
+func (a *Activemap) Bits() uint64 { return a.nbits }
+
+// Free returns the number of free (clear) bits.
+func (a *Activemap) Free() uint64 { return a.free }
+
+// Used returns the number of used (set) bits.
+func (a *Activemap) Used() uint64 { return a.nbits - a.free }
+
+// BlockOf returns the metafile FBN holding the bit for bn. Range affinities
+// partition metafile accesses by this value.
+func BlockOf(bn uint64) block.FBN { return block.FBN(bn / BitsPerBlock) }
+
+func (a *Activemap) locate(bn uint64) (*fs.Buffer, int, byte) {
+	if bn >= a.nbits {
+		panic(fmt.Sprintf("bitmap: bn %d out of range %d", bn, a.nbits))
+	}
+	buf := a.file.GetOrCreateL0(BlockOf(bn))
+	off := bn % BitsPerBlock
+	return buf, int(off / 8), byte(1 << (off % 8))
+}
+
+// IsSet reports whether bn is marked in use.
+func (a *Activemap) IsSet(bn uint64) bool {
+	buf, byteOff, mask := a.locate(bn)
+	return buf.Data()[byteOff]&mask != 0
+}
+
+// Set marks bn in use, dirtying the owning metafile block into the running
+// CP. It panics on double allocation — that invariant is the heart of
+// allocator correctness.
+func (a *Activemap) Set(bn uint64) {
+	buf, byteOff, mask := a.locate(bn)
+	d := buf.CPMutableData()
+	if d[byteOff]&mask != 0 {
+		panic(fmt.Sprintf("bitmap: double allocation of block %d", bn))
+	}
+	d[byteOff] |= mask
+	a.file.DirtyIntoCP(buf)
+	a.free--
+	a.SetOps++
+	if a.OnChange != nil {
+		a.OnChange(bn, true)
+	}
+}
+
+// Clear marks bn free, dirtying the owning metafile block into the running
+// CP. It panics on double free.
+func (a *Activemap) Clear(bn uint64) {
+	buf, byteOff, mask := a.locate(bn)
+	d := buf.CPMutableData()
+	if d[byteOff]&mask == 0 {
+		panic(fmt.Sprintf("bitmap: double free of block %d", bn))
+	}
+	d[byteOff] &^= mask
+	a.file.DirtyIntoCP(buf)
+	a.free++
+	a.ClearOps++
+	if a.OnChange != nil {
+		a.OnChange(bn, false)
+	}
+}
+
+// SetRaw marks bn in use without CP dirtying — used only while formatting a
+// fresh file system (reserved blocks) before any CP machinery exists.
+func (a *Activemap) SetRaw(bn uint64) {
+	buf, byteOff, mask := a.locate(bn)
+	d := buf.CPMutableData()
+	if d[byteOff]&mask != 0 {
+		return
+	}
+	d[byteOff] |= mask
+	a.free--
+	if a.OnChange != nil {
+		a.OnChange(bn, true)
+	}
+}
+
+// FindFree appends up to max free block numbers in [start, end) to dst,
+// scanning 64 bits at a time, and returns the extended slice together with
+// the number of 64-bit words examined (the caller charges CPU proportional
+// to the scan work).
+func (a *Activemap) FindFree(dst []uint64, start, end uint64, max int) ([]uint64, int) {
+	if end > a.nbits {
+		end = a.nbits
+	}
+	words := 0
+	bn := start
+	for bn < end && max > 0 {
+		buf := a.file.GetOrCreateL0(BlockOf(bn))
+		data := buf.Data()
+		// Scan within this metafile block.
+		blockEnd := (uint64(BlockOf(bn)) + 1) * BitsPerBlock
+		if blockEnd > end {
+			blockEnd = end
+		}
+		for bn < blockEnd && max > 0 {
+			wordStart := bn &^ 63
+			byteOff := (wordStart % BitsPerBlock) / 8
+			w := binary.LittleEndian.Uint64(data[byteOff:])
+			words++
+			// Mask off bits below bn and at/after blockEnd.
+			w |= (1 << (bn - wordStart)) - 1
+			if wordEnd := wordStart + 64; wordEnd > blockEnd {
+				w |= ^uint64(0) << (blockEnd - wordStart)
+			}
+			for w != ^uint64(0) && max > 0 {
+				i := bits.TrailingZeros64(^w)
+				dst = append(dst, wordStart+uint64(i))
+				w |= 1 << i
+				max--
+			}
+			bn = wordStart + 64
+		}
+	}
+	return dst, words
+}
+
+// CountFree returns the number of free bits in [start, end) and the number
+// of words scanned.
+func (a *Activemap) CountFree(start, end uint64) (uint64, int) {
+	if end > a.nbits {
+		end = a.nbits
+	}
+	n := uint64(0)
+	words := 0
+	for bn := start; bn < end; {
+		buf := a.file.GetOrCreateL0(BlockOf(bn))
+		data := buf.Data()
+		blockEnd := (uint64(BlockOf(bn)) + 1) * BitsPerBlock
+		if blockEnd > end {
+			blockEnd = end
+		}
+		for bn < blockEnd {
+			wordStart := bn &^ 63
+			byteOff := (wordStart % BitsPerBlock) / 8
+			w := binary.LittleEndian.Uint64(data[byteOff:])
+			words++
+			w |= (1 << (bn - wordStart)) - 1
+			if wordEnd := wordStart + 64; wordEnd > blockEnd {
+				w |= ^uint64(0) << (blockEnd - wordStart)
+			}
+			n += uint64(bits.OnesCount64(^w))
+			bn = wordStart + 64
+		}
+	}
+	return n, words
+}

@@ -1,0 +1,113 @@
+// Package block defines the fundamental storage addressing types and block
+// helpers shared by every layer of the system: physical volume block numbers
+// (VBNs) in the aggregate space, virtual volume block numbers (VVBNs) in a
+// FlexVol's space, file block numbers (FBNs) within a file, and fixed-size
+// 4 KiB blocks with checksums.
+package block
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Size is the file system block size in bytes (4 KiB, as in WAFL).
+const Size = 4096
+
+// VBN is a physical volume block number: an address in the aggregate's
+// block space, mapped onto a (RAID group, drive, disk block) location.
+type VBN uint64
+
+// VVBN is a virtual volume block number: an address within a single FlexVol
+// volume's block space.
+type VVBN uint64
+
+// FBN is a file block number: the index of a 4 KiB block within a file.
+type FBN uint64
+
+// DBN is a disk block number: the index of a block within a single drive.
+type DBN uint64
+
+// Invalid sentinel values for each address space.
+const (
+	InvalidVBN  VBN  = ^VBN(0)
+	InvalidVVBN VVBN = ^VVBN(0)
+	InvalidDBN  DBN  = ^DBN(0)
+)
+
+func (v VBN) String() string {
+	if v == InvalidVBN {
+		return "vbn:invalid"
+	}
+	return fmt.Sprintf("vbn:%d", uint64(v))
+}
+
+func (v VVBN) String() string {
+	if v == InvalidVVBN {
+		return "vvbn:invalid"
+	}
+	return fmt.Sprintf("vvbn:%d", uint64(v))
+}
+
+// PtrSize is the on-disk size of a block pointer entry in an indirect block:
+// a (VVBN, VBN) pair. WAFL indirect blocks store dual addresses so that
+// reads can go straight to physical storage while the volume remains
+// logically relocatable.
+const PtrSize = 16
+
+// PtrsPerBlock is the fan-out of an indirect block.
+const PtrsPerBlock = Size / PtrSize // 256
+
+// Checksum returns a 64-bit FNV-1a checksum of p. It stands in for the
+// per-block checksums a production file system computes on every write; its
+// cost is charged to the simulated CPU by callers via the cost model.
+func Checksum(p []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// New allocates a zeroed block.
+func New() []byte { return make([]byte, Size) }
+
+// Clone returns a copy of block p (padding or truncating to Size).
+func Clone(p []byte) []byte {
+	b := make([]byte, Size)
+	copy(b, p)
+	return b
+}
+
+// PutPtr encodes the pointer pair (vvbn, vbn) at entry index i of indirect
+// block b.
+func PutPtr(b []byte, i int, vvbn VVBN, vbn VBN) {
+	off := i * PtrSize
+	binary.LittleEndian.PutUint64(b[off:], uint64(vvbn))
+	binary.LittleEndian.PutUint64(b[off+8:], uint64(vbn))
+}
+
+// GetPtr decodes the pointer pair at entry index i of indirect block b.
+func GetPtr(b []byte, i int) (VVBN, VBN) {
+	off := i * PtrSize
+	vvbn := VVBN(binary.LittleEndian.Uint64(b[off:]))
+	vbn := VBN(binary.LittleEndian.Uint64(b[off+8:]))
+	return vvbn, vbn
+}
+
+// XOR accumulates src into dst (dst ^= src), used for RAID parity.
+// Both must be Size bytes.
+func XOR(dst, src []byte) {
+	_ = dst[Size-1]
+	_ = src[Size-1]
+	// 8 bytes at a time via binary package to stay in safe code.
+	for i := 0; i < Size; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+}

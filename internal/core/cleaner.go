@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/block"
+	"wafl/internal/counters"
+	"wafl/internal/fs"
+	"wafl/internal/sim"
+	"wafl/internal/waffinity"
+)
+
+// JobMode selects which part of a file a cleaning job covers.
+type JobMode int
+
+// Job modes.
+const (
+	// JobFull cleans every frozen buffer of the file, bottom-up.
+	JobFull JobMode = iota
+	// JobL0Range cleans only frozen L0 buffers with FBN in [Lo, Hi) — one
+	// slice of a large file split across cleaner threads (§V-C).
+	JobL0Range
+	// JobFinalize cleans levels ≥ 1 after all of a split file's range
+	// jobs completed.
+	JobFinalize
+)
+
+// Job is one unit of work for the cleaner pool: one or more inodes to
+// clean (more than one only with batched inode cleaning, §V-C).
+type Job struct {
+	Vol   *aggregate.Volume // nil for aggregate-level metafiles
+	Files []*fs.File
+	Dual  bool // assign VVBNs as well as VBNs (user files)
+	Mode  JobMode
+	Lo    block.FBN
+	Hi    block.FBN
+	group *splitGroup
+}
+
+// splitGroup coordinates the range jobs of one split file; when the last
+// range job finishes, a finalize job for the upper tree levels is enqueued.
+type splitGroup struct {
+	remaining int
+	vol       *aggregate.Volume
+	file      *fs.File
+	dual      bool
+}
+
+// PoolStats holds cumulative cleaner-pool counters.
+type PoolStats struct {
+	JobsRun        uint64
+	BatchesRun     uint64
+	BuffersCleaned uint64
+	FilesSplit     uint64
+	StageCommits   uint64
+	Activations    uint64 // dynamic tuner thread activations
+	Deactivations  uint64
+}
+
+// cleanerState is the per-thread context: the held buckets, free stages,
+// and loose-accounting token.
+type cleanerState struct {
+	id   int
+	t    *sim.Thread
+	tok  *counters.Token
+	phys *Bucket
+	virt map[int]*VBucket
+	// free stages (§IV-A last paragraph): old block numbers accumulate
+	// here and are committed to the infrastructure when full.
+	stagePhys []uint64
+	stageVirt map[int][]uint64
+	holding   bool
+	engaged   sim.Duration // wall time spent processing jobs (tuner input)
+}
+
+// Pool is the set of inode-cleaner threads consuming the White Alligator
+// API. Threads beyond the active count park; the dynamic tuner (§V-B)
+// adjusts the active count every 50ms.
+type Pool struct {
+	s     *sim.Scheduler
+	w     *waffinity.Scheduler
+	h     *waffinity.Hierarchy
+	in    *Infra
+	opts  Options
+	costs CostModel
+
+	queueMu *sim.Mutex
+	cond    *sim.WaitQueue
+	queue   []*Job
+
+	threads []*cleanerState
+	activeN int
+
+	inCP          bool
+	pendingJobs   int
+	resourcesHeld int
+	idleCond      *sim.WaitQueue
+
+	// phaseTime accumulates wall time spent inside cleaning phases; the
+	// tuner normalizes cleaner utilization over it rather than over raw
+	// wall time, so short CP bursts still expose a saturated cleaner.
+	phaseTime sim.Duration
+
+	stats PoolStats
+}
+
+// NewPool creates the cleaner pool with opts.MaxCleaners threads (all
+// spawned immediately; the active count governs who works).
+func NewPool(in *Infra, opts Options, costs CostModel) *Pool {
+	p := &Pool{
+		s: in.s, w: in.w, h: in.h, in: in, opts: opts, costs: costs,
+		queueMu:  sim.NewMutex(in.s, "cleaner-queue"),
+		cond:     sim.NewWaitQueue(in.s, "cleaner-queue-cond"),
+		idleCond: sim.NewWaitQueue(in.s, "cleaner-idle"),
+		activeN:  opts.InitialCleaners,
+	}
+	if p.activeN < 1 {
+		p.activeN = 1
+	}
+	if p.activeN > opts.MaxCleaners {
+		p.activeN = opts.MaxCleaners
+	}
+	for i := 0; i < opts.MaxCleaners; i++ {
+		cs := &cleanerState{
+			id:        i,
+			tok:       in.Counters.NewToken(),
+			virt:      make(map[int]*VBucket),
+			stageVirt: make(map[int][]uint64),
+		}
+		p.threads = append(p.threads, cs)
+		if !opts.CleanInSerialAffinity {
+			cs.t = in.s.Go(fmt.Sprintf("cleaner-%d", i), sim.CatCleaner, func(t *sim.Thread) {
+				cs.t = t
+				p.threadLoop(cs)
+			})
+		}
+	}
+	return p
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// Active returns the current active cleaner-thread count.
+func (p *Pool) Active() int { return p.activeN }
+
+// SetActive adjusts the active thread count (used by the tuner and the
+// static-thread-count experiments).
+func (p *Pool) SetActive(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > p.opts.MaxCleaners {
+		n = p.opts.MaxCleaners
+	}
+	if n > p.activeN {
+		p.stats.Activations += uint64(n - p.activeN)
+	} else if n < p.activeN {
+		p.stats.Deactivations += uint64(p.activeN - n)
+	}
+	p.activeN = n
+	p.cond.Broadcast()
+}
+
+// CleanerBusy returns each thread's cumulative CPU time.
+func (p *Pool) CleanerBusy() []sim.Duration {
+	out := make([]sim.Duration, len(p.threads))
+	for i, cs := range p.threads {
+		if cs.t != nil {
+			out[i] = cs.t.Busy()
+		}
+	}
+	return out
+}
+
+// CleanerEngaged returns each thread's cumulative engaged wall time — time
+// spent processing cleaning jobs, including waits for buckets. This is the
+// utilization signal the dynamic tuner thresholds against: a cleaner that
+// is engaged 90% of the time is the CP's critical path even if much of
+// that is pipeline waiting.
+func (p *Pool) CleanerEngaged() []sim.Duration {
+	out := make([]sim.Duration, len(p.threads))
+	for i, cs := range p.threads {
+		out[i] = cs.engaged
+	}
+	return out
+}
+
+// BuildJobs converts a volume's frozen inode list into cleaning jobs,
+// applying large-file splitting.
+func (p *Pool) BuildJobs(vol *aggregate.Volume, files []*fs.File, dual bool) []*Job {
+	var jobs []*Job
+	for _, f := range files {
+		l0 := len(f.FrozenLevel(0))
+		if p.opts.SplitLargeFiles && l0 >= p.opts.SplitThreshold && p.opts.SplitJobs > 1 {
+			p.stats.FilesSplit++
+			g := &splitGroup{remaining: p.opts.SplitJobs, vol: vol, file: f, dual: dual}
+			span := (f.Size() + block.FBN(p.opts.SplitJobs) - 1) / block.FBN(p.opts.SplitJobs)
+			for j := 0; j < p.opts.SplitJobs; j++ {
+				lo := block.FBN(j) * span
+				hi := lo + span
+				jobs = append(jobs, &Job{
+					Vol: vol, Files: []*fs.File{f}, Dual: dual,
+					Mode: JobL0Range, Lo: lo, Hi: hi, group: g,
+				})
+			}
+			continue
+		}
+		jobs = append(jobs, &Job{Vol: vol, Files: []*fs.File{f}, Dual: dual, Mode: JobFull})
+	}
+	return jobs
+}
+
+// RunPhase enqueues jobs, lets the pool clean them, and blocks the calling
+// (CP) thread until every job is done and every thread has returned its
+// buckets, committed its stages, and flushed its token.
+func (p *Pool) RunPhase(t *sim.Thread, jobs []*Job) {
+	if len(jobs) == 0 {
+		return
+	}
+	if p.opts.CleanInSerialAffinity {
+		p.runPhaseSerial(t, jobs)
+		return
+	}
+	p.queueMu.Lock(t)
+	p.inCP = true
+	p.queue = append(p.queue, jobs...)
+	p.pendingJobs += len(jobs)
+	p.queueMu.Unlock(t)
+	p.cond.Broadcast()
+
+	phaseStart := t.Now()
+	p.queueMu.Lock(t)
+	for p.pendingJobs > 0 || p.resourcesHeld > 0 {
+		p.idleCond.WaitWith(t, p.queueMu)
+	}
+	p.inCP = false
+	p.queueMu.Unlock(t)
+	p.phaseTime += sim.Duration(t.Now() - phaseStart)
+}
+
+// PhaseTime returns cumulative wall time spent in cleaning phases.
+func (p *Pool) PhaseTime() sim.Duration { return p.phaseTime }
+
+// runPhaseSerial reproduces the pre-2008 design: each cleaning job runs as
+// a message in the Serial affinity, excluding all other file system work.
+func (p *Pool) runPhaseSerial(t *sim.Thread, jobs []*Job) {
+	cs := p.threads[0]
+	for _, job := range jobs {
+		job := job
+		p.w.Call(t, p.h.Serial, sim.CatCleaner, func(wt *sim.Thread) {
+			old := cs.t
+			cs.t = wt
+			wt.Consume(p.costs.CleanerJob)
+			p.runJob(cs, job)
+			cs.t = old
+		})
+	}
+	// Release resources from the CP thread's context.
+	cs.t = t
+	p.release(cs)
+	cs.t = nil
+}
+
+// threadLoop is the body of one cleaner thread.
+func (p *Pool) threadLoop(cs *cleanerState) {
+	t := cs.t
+	for {
+		p.queueMu.Lock(t)
+		var batch []*Job
+		for {
+			if cs.id < p.activeN && len(p.queue) > 0 {
+				batch = p.takeBatch()
+				break
+			}
+			// Nothing to do (or deactivated): release held resources
+			// before parking so the CP can drain.
+			if cs.holding {
+				p.queueMu.Unlock(t)
+				p.release(cs)
+				p.queueMu.Lock(t)
+				p.resourcesHeld--
+				cs.holding = false
+				if p.pendingJobs == 0 && p.resourcesHeld == 0 {
+					p.idleCond.Broadcast()
+				}
+				continue // re-check the queue: it may have refilled
+			}
+			p.cond.WaitWith(t, p.queueMu)
+			if p.costs.CleanerWake > 0 {
+				// Thread management overhead: every wakeup costs CPU
+				// whether or not there is work (§V-B's "increased thread
+				// management overhead").
+				p.queueMu.Unlock(t)
+				t.Consume(p.costs.CleanerWake)
+				p.queueMu.Lock(t)
+			}
+		}
+		if !cs.holding {
+			cs.holding = true
+			p.resourcesHeld++
+		}
+		p.queueMu.Unlock(t)
+
+		jobStart := t.Now()
+		t.Consume(p.costs.CleanerJob)
+		p.stats.BatchesRun++
+		for _, job := range batch {
+			p.runJob(cs, job)
+		}
+		cs.engaged += sim.Duration(t.Now() - jobStart)
+
+		p.queueMu.Lock(t)
+		p.pendingJobs -= len(batch)
+		p.stats.JobsRun += uint64(len(batch))
+		if p.pendingJobs == 0 && p.resourcesHeld == 0 {
+			p.idleCond.Broadcast()
+		}
+		p.queueMu.Unlock(t)
+	}
+}
+
+// takeBatch pops the next job — and, with batched inode cleaning, up to
+// BatchSize-1 further small jobs — from the queue. Caller holds queueMu.
+func (p *Pool) takeBatch() []*Job {
+	batch := []*Job{p.queue[0]}
+	p.queue = p.queue[1:]
+	if !p.opts.BatchedCleaning || !p.smallJob(batch[0]) {
+		return batch
+	}
+	for len(batch) < p.opts.BatchSize && len(p.queue) > 0 && p.smallJob(p.queue[0]) {
+		batch = append(batch, p.queue[0])
+		p.queue = p.queue[1:]
+	}
+	return batch
+}
+
+// smallJob reports whether a job qualifies for batching: a full-file job
+// with few frozen buffers.
+func (p *Pool) smallJob(j *Job) bool {
+	if j.Mode != JobFull || len(j.Files) != 1 {
+		return false
+	}
+	return j.Files[0].FrozenCount() <= p.opts.BatchBufferLimit
+}
+
+// runJob cleans one job's files.
+func (p *Pool) runJob(cs *cleanerState, job *Job) {
+	for _, f := range job.Files {
+		p.cleanFile(cs, job, f)
+	}
+	if job.group != nil {
+		job.group.remaining--
+		if job.group.remaining == 0 {
+			fin := &Job{
+				Vol: job.group.vol, Files: []*fs.File{job.group.file},
+				Dual: job.group.dual, Mode: JobFinalize,
+			}
+			p.queueMu.Lock(cs.t)
+			p.queue = append(p.queue, fin)
+			p.pendingJobs++
+			p.queueMu.Unlock(cs.t)
+			p.cond.Signal()
+		}
+	}
+}
+
+// cleanFile assigns locations to a file's frozen buffers bottom-up,
+// enqueues their CP images to tetrises, and stages the freed old locations
+// — the USE step of Fig 2, repeated per dirty buffer.
+func (p *Pool) cleanFile(cs *cleanerState, job *Job, f *fs.File) {
+	t := cs.t
+	geo := p.in.a.Geometry()
+	loLevel, hiLevel := 0, f.Height()
+	switch job.Mode {
+	case JobL0Range:
+		hiLevel = 0
+	case JobFinalize:
+		loLevel = 1
+	}
+	for level := loLevel; level <= hiLevel; level++ {
+		for _, b := range f.FrozenLevel(level) {
+			if job.Mode == JobL0Range && (b.FBN() < job.Lo || b.FBN() >= job.Hi) {
+				continue
+			}
+			t.Consume(p.costs.CleanerPerBuffer)
+
+			// USE: one VBN from the physical bucket.
+			for cs.phys == nil || cs.phys.Remaining() == 0 {
+				if cs.phys != nil {
+					p.in.PutBucket(t, cs.phys)
+				}
+				cs.phys = p.in.GetBucket(t)
+			}
+			vbn := cs.phys.vbns[cs.phys.next]
+			cs.phys.next++
+
+			// And a VVBN from the volume bucket for dual-addressed files.
+			vvbn := block.InvalidVVBN
+			if job.Dual {
+				vb := cs.virt[job.Vol.ID()]
+				for vb == nil || vb.Remaining() == 0 {
+					if vb != nil {
+						p.in.PutVBucket(t, vb)
+					}
+					vb = p.in.GetVBucket(t, job.Vol)
+					cs.virt[job.Vol.ID()] = vb
+				}
+				vvbn = vb.use(vbn)
+			}
+
+			img := b.CPImage()
+			oldVVBN, oldVBN := f.CleanChild(b, vvbn, vbn)
+			_, drive, dbn := geo.Locate(vbn)
+			cs.phys.tetris.add(drive, dbn, img)
+			p.stats.BuffersCleaned++
+
+			// Loose accounting: allocation consumed a free block.
+			p.in.CleanerCounterAdd(t, cs.tok, p.in.AggrFreeID(), -1)
+			if job.Dual {
+				p.in.CleanerCounterAdd(t, cs.tok, p.in.VolFreeID(job.Vol.ID()), -1)
+			}
+
+			// Stage the frees of the overwritten locations.
+			if oldVBN != block.InvalidVBN && oldVBN != 0 {
+				t.Consume(p.costs.StagePush)
+				cs.stagePhys = append(cs.stagePhys, uint64(oldVBN))
+				p.in.CleanerCounterAdd(t, cs.tok, p.in.AggrFreeID(), 1)
+				if len(cs.stagePhys) >= p.opts.StageSize {
+					p.commitStagePhys(cs)
+				}
+			}
+			if job.Dual && oldVVBN != block.InvalidVVBN {
+				t.Consume(p.costs.StagePush)
+				vid := job.Vol.ID()
+				cs.stageVirt[vid] = append(cs.stageVirt[vid], uint64(oldVVBN))
+				p.in.CleanerCounterAdd(t, cs.tok, p.in.VolFreeID(vid), 1)
+				if len(cs.stageVirt[vid]) >= p.opts.StageSize {
+					p.commitStageVirt(cs, vid)
+				}
+			}
+		}
+	}
+}
+
+func (p *Pool) commitStagePhys(cs *cleanerState) {
+	if len(cs.stagePhys) == 0 {
+		return
+	}
+	p.in.CommitFrees(cs.t, -1, cs.stagePhys)
+	cs.stagePhys = nil
+	p.stats.StageCommits++
+}
+
+func (p *Pool) commitStageVirt(cs *cleanerState, vid int) {
+	if len(cs.stageVirt[vid]) == 0 {
+		return
+	}
+	p.in.CommitFrees(cs.t, vid, cs.stageVirt[vid])
+	delete(cs.stageVirt, vid)
+	p.stats.StageCommits++
+}
+
+// release returns every resource the thread holds: buckets go back via
+// PUT, stages commit, and the counter token flushes.
+func (p *Pool) release(cs *cleanerState) {
+	t := cs.t
+	if cs.phys != nil {
+		p.in.PutBucket(t, cs.phys)
+		cs.phys = nil
+	}
+	for _, vid := range sortedKeys(cs.virt) {
+		p.in.PutVBucket(t, cs.virt[vid])
+		delete(cs.virt, vid)
+	}
+	p.commitStagePhys(cs)
+	for _, vid := range sortedKeys(cs.stageVirt) {
+		p.commitStageVirt(cs, vid)
+	}
+	p.in.FlushToken(t, cs.tok)
+}
+
+// sortedKeys returns map keys in ascending order, keeping event generation
+// deterministic.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

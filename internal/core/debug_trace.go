@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"wafl/internal/aggregate"
+)
+
+// setTrace records, for debugging double allocations, the last context that
+// set each physical bit. Enabled with WAFL_TRACE=1 (the single-threaded
+// simulation makes a plain map safe).
+var setTrace map[uint64]string
+
+func init() {
+	if os.Getenv("WAFL_TRACE") != "" {
+		setTrace = make(map[uint64]string)
+		aggregate.AmapTrace = func(bn uint64) {
+			setTrace[bn] = "amap flush plan"
+		}
+	}
+}
+
+func traceSet(bn uint64, format string, args ...any) {
+	if setTrace != nil {
+		setTrace[bn] = fmt.Sprintf(format, args...)
+	}
+}
+
+func traceOf(bn uint64) string {
+	if setTrace == nil {
+		return "tracing off"
+	}
+	return setTrace[bn]
+}

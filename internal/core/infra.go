@@ -1,0 +1,569 @@
+package core
+
+import (
+	"fmt"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/bitmap"
+	"wafl/internal/block"
+	"wafl/internal/counters"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+	"wafl/internal/waffinity"
+)
+
+// InfraStats holds cumulative infrastructure activity counters.
+type InfraStats struct {
+	BucketsFilled     uint64
+	BucketsCommitted  uint64
+	VBucketsFilled    uint64
+	VBucketsCommitted uint64
+	StageCommitMsgs   uint64 // free-commit messages (one per metafile block)
+	FreesCommitted    uint64
+	TetrisesSent      uint64
+	TetrisBlocks      uint64
+	FillWords         uint64 // bitmap words scanned
+	GetWaits          uint64 // GET calls that blocked on an empty cache
+	WindowsSkipped    uint64 // windows with no free blocks at all
+}
+
+// windowState tracks a RAID group's fill cursor.
+type windowState struct {
+	aa     int       // current Allocation Area (-1 before first selection)
+	cursor block.DBN // next window start within the AA
+}
+
+// windowFill coordinates the per-drive fill messages of one window.
+type windowFill struct {
+	tetris  *Tetris
+	buckets []*Bucket
+	pending int
+}
+
+// volState is the per-volume virtual allocation state.
+type volState struct {
+	vol          *aggregate.Volume
+	cache        []*VBucket
+	cond         *sim.WaitQueue
+	region       int    // current vAA (one activemap block of VVBNs), -1 initially
+	cursor       uint64 // next vvbn to scan within the region
+	usedRegions  map[int]bool
+	pendingFills int
+	pendingFree  *bitset
+	reserved     *bitset
+	freeCounter  counters.ID
+}
+
+// Infra is the White Alligator infrastructure: it owns the bucket cache and
+// used-bucket queue, performs every allocation-metafile read and write as
+// Waffinity messages, and exports the GET/USE/PUT API to cleaner threads
+// (paper §IV-A, Fig 2).
+type Infra struct {
+	s     *sim.Scheduler
+	w     *waffinity.Scheduler
+	h     *waffinity.Hierarchy
+	a     *aggregate.Aggregate
+	opts  Options
+	costs CostModel
+
+	// Bucket cache: the lock-protected list of available buckets.
+	cacheMu   *sim.Mutex
+	cacheCond *sim.WaitQueue
+	cache     []*Bucket
+
+	// Used-bucket queue: PUT parks buckets here until the infrastructure
+	// message that commits them runs.
+	usedQueue []*Bucket
+
+	win         []windowState
+	usedAAs     []map[int]bool
+	rrNext      []int
+	serialGroup int     // round-robin group cursor for inline (serial-mode) fills
+	pendingFree *bitset // physical blocks freed in the running CP
+	reserved    *bitset // physical blocks in filled, uncommitted buckets
+
+	vols map[int]*volState
+
+	metaCursor uint64 // physical scan cursor for metafile allocations
+
+	// Global counters with loose accounting (§III-C).
+	Counters    *counters.Global
+	counterMu   *sim.Mutex // the lock the LooseAccounting=false ablation contends on
+	aggrFreeCtr counters.ID
+
+	pendingOps int // outstanding infra messages (fills + commits)
+	pendingIO  int // outstanding storage I/Os (tetris + metafile writes)
+	drainCond  *sim.WaitQueue
+	draining   bool
+	inCP       bool
+
+	stats InfraStats
+}
+
+// NewInfra builds the infrastructure over an aggregate and a Waffinity
+// hierarchy (which must contain at least one aggregate subtree).
+func NewInfra(w *waffinity.Scheduler, h *waffinity.Hierarchy, a *aggregate.Aggregate, opts Options, costs CostModel) *Infra {
+	s := a.Sched()
+	in := &Infra{
+		s: s, w: w, h: h, a: a, opts: opts, costs: costs,
+		cacheMu:     sim.NewMutex(s, "bucket-cache"),
+		cacheCond:   sim.NewWaitQueue(s, "bucket-cache-cond"),
+		pendingFree: newBitset(a.Geometry().TotalBlocks()),
+		reserved:    newBitset(a.Geometry().TotalBlocks()),
+		vols:        make(map[int]*volState),
+		counterMu:   sim.NewMutex(s, "global-counters"),
+		drainCond:   sim.NewWaitQueue(s, "infra-drain"),
+		Counters:    counters.NewGlobal(),
+	}
+	in.aggrFreeCtr = in.Counters.Register("aggr.free")
+	in.Counters.Add(in.aggrFreeCtr, int64(a.TotalFree()))
+	for gi := 0; gi < a.Groups(); gi++ {
+		in.win = append(in.win, windowState{aa: -1})
+		in.usedAAs = append(in.usedAAs, make(map[int]bool))
+		in.rrNext = append(in.rrNext, 0)
+	}
+	for _, v := range a.Volumes() {
+		vs := &volState{
+			vol:         v,
+			cond:        sim.NewWaitQueue(s, fmt.Sprintf("vol%d-vbucket-cond", v.ID())),
+			region:      -1,
+			usedRegions: make(map[int]bool),
+			pendingFree: newBitset(v.VVBNBlocks()),
+			reserved:    newBitset(v.VVBNBlocks()),
+		}
+		vs.freeCounter = in.Counters.Register(fmt.Sprintf("vol%d.free", v.ID()))
+		in.Counters.Add(vs.freeCounter, int64(v.Activemap.Free()))
+		in.vols[v.ID()] = vs
+	}
+	// Observe every physical free so same-CP reuse is blocked.
+	prev := a.Activemap.OnChange
+	a.Activemap.OnChange = func(bn uint64, used bool) {
+		if prev != nil {
+			prev(bn, used)
+		}
+		if !used && in.inCP {
+			in.pendingFree.set(bn)
+		}
+	}
+	for _, vs := range in.vols {
+		vs := vs
+		vs.vol.Activemap.OnChange = func(bn uint64, used bool) {
+			if !used && in.inCP {
+				vs.pendingFree.set(bn)
+			}
+		}
+	}
+	return in
+}
+
+// Stats returns a snapshot of infrastructure counters.
+func (in *Infra) Stats() InfraStats { return in.stats }
+
+// AggrFree returns the loosely-accounted global free-block counter.
+func (in *Infra) AggrFree() int64 { return in.Counters.Get(in.aggrFreeCtr) }
+
+// aggrRangeAff returns the affinity for aggregate-metafile work on block
+// fbn: a Range affinity when the infrastructure is parallelized. When
+// serialized (the §V-A instrumented baseline, modelling the pre-White-
+// Alligator design where one thread owned all metafile access), every
+// infrastructure message — aggregate and volume alike — funnels through
+// the single AggrVBN affinity.
+func (in *Infra) aggrRangeAff(fbn block.FBN) *waffinity.Affinity {
+	ag := in.h.Aggrs[0]
+	if !in.opts.InfraParallel || len(ag.Ranges) == 0 {
+		return ag.AggrVBN
+	}
+	return ag.Ranges[int(fbn)%len(ag.Ranges)]
+}
+
+// volRangeAff is the volume-metafile analogue of aggrRangeAff.
+func (in *Infra) volRangeAff(volID int, fbn block.FBN) *waffinity.Affinity {
+	if !in.opts.InfraParallel {
+		return in.h.Aggrs[0].AggrVBN // global metafile serialization
+	}
+	vol := in.h.Aggrs[0].Volumes[volID]
+	if len(vol.Ranges) == 0 {
+		return vol.VolVBN
+	}
+	return vol.Ranges[int(fbn)%len(vol.Ranges)]
+}
+
+// findFreePhys scans the activemap over [lo, hi) for up to max allocatable
+// VBNs: free on disk, not freed in this CP, not reserved by another bucket.
+// It keeps scanning until it has max candidates or the range is exhausted,
+// and returns the candidates and the number of bitmap words scanned.
+func (in *Infra) findFreePhys(lo, hi uint64, max int) ([]block.VBN, int) {
+	out := make([]block.VBN, 0, max)
+	words := 0
+	for lo < hi && len(out) < max {
+		raw, w := in.a.Activemap.FindFree(nil, lo, hi, max)
+		words += w
+		if len(raw) == 0 {
+			break
+		}
+		for _, bn := range raw {
+			if len(out) == max {
+				break
+			}
+			if in.pendingFree.test(bn) || in.reserved.test(bn) {
+				continue
+			}
+			out = append(out, block.VBN(bn))
+		}
+		lo = raw[len(raw)-1] + 1
+	}
+	return out, words
+}
+
+// selectAA picks the next Allocation Area for a group according to the
+// configured policy, excluding AAs already used in this CP.
+func (in *Infra) selectAA(group int) int {
+	geo := in.a.Geometry()
+	used := in.usedAAs[group]
+	switch in.opts.AASelection {
+	case AAFirstFit:
+		for aa := 0; aa < geo.AAsPerGroup(); aa++ {
+			if !used[aa] && in.a.AAFree(group, aa) > 0 {
+				return aa
+			}
+		}
+	case AARoundRobin:
+		n := geo.AAsPerGroup()
+		for k := 0; k < n; k++ {
+			aa := (in.rrNext[group] + k) % n
+			if !used[aa] && in.a.AAFree(group, aa) > 0 {
+				in.rrNext[group] = (aa + 1) % n
+				return aa
+			}
+		}
+	default: // AAMostFree
+		best, bestFree := -1, int64(0)
+		for aa := 0; aa < geo.AAsPerGroup(); aa++ {
+			if used[aa] {
+				continue
+			}
+			if f := in.a.AAFree(group, aa); f > bestFree {
+				best, bestFree = aa, f
+			}
+		}
+		return best
+	}
+	return -1
+}
+
+// nextWindow advances the group's fill cursor (selecting a new AA when the
+// current one is exhausted) and returns the next chunk-deep window.
+func (in *Infra) nextWindow(group int) (start, depth block.DBN) {
+	geo := in.a.Geometry()
+	ws := &in.win[group]
+	if ws.aa < 0 || ws.cursor >= block.DBN(ws.aa+1)*geo.AAStripes {
+		aa := in.selectAA(group)
+		if aa < 0 {
+			// All AAs used this CP: lift the exclusion and re-pick
+			// (reservation and pending-free filtering keep reuse safe).
+			in.usedAAs[group] = make(map[int]bool)
+			aa = in.selectAA(group)
+		}
+		if aa < 0 {
+			panic(fmt.Sprintf("core: group %d out of space", group))
+		}
+		ws.aa = aa
+		in.usedAAs[group][aa] = true
+		ws.cursor, _ = geo.AARange(aa)
+		if ws.cursor == 0 {
+			ws.cursor = 1 // stripe 0 is reserved for the superblock
+		}
+	}
+	start = ws.cursor
+	depth = block.DBN(in.opts.ChunkBlocks)
+	if end := block.DBN(ws.aa+1) * geo.AAStripes; start+depth > end {
+		depth = end - start
+	}
+	ws.cursor += depth
+	return start, depth
+}
+
+// fillBucket scans one drive's slice of a window and builds its bucket,
+// charging the scan to the executing thread.
+func (in *Infra) fillBucket(t *sim.Thread, group, drive int, start, depth block.DBN, te *Tetris) *Bucket {
+	geo := in.a.Geometry()
+	lo := uint64(geo.VBNOf(group, drive, start))
+	hi := lo + uint64(depth)
+	vbns, words := in.findFreePhys(lo, hi, int(depth))
+	in.stats.FillWords += uint64(words)
+	t.ConsumeAs(sim.CatInfra, in.costs.FillFixed+sim.Duration(words)*in.costs.FillPerWord)
+	for _, vbn := range vbns {
+		in.reserved.set(uint64(vbn))
+	}
+	return &Bucket{group: group, drive: drive, window: start, vbns: vbns, tetris: te}
+}
+
+// fillWindowInline fills a whole window synchronously on the calling
+// thread — the pre-White-Alligator mode where the (single, Serial-affinity)
+// cleaner reads the allocation bitmaps itself with exclusive access.
+func (in *Infra) fillWindowInline(t *sim.Thread, group int) {
+	start, depth := in.nextWindow(group)
+	drives := in.a.Geometry().DataDrives
+	te := newTetris(group, start, drives)
+	nonEmpty := 0
+	for d := 0; d < drives; d++ {
+		b := in.fillBucket(t, group, d, start, depth, te)
+		if len(b.vbns) > 0 {
+			in.cache = append(in.cache, b)
+			in.stats.BucketsFilled++
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		in.stats.WindowsSkipped++
+		return
+	}
+	te.outstanding = nonEmpty
+	te.initialBuckets = nonEmpty
+}
+
+// requestWindow begins filling the next window of a group, sending one fill
+// message per data drive into the Range affinity covering that drive's
+// bitmap region.
+func (in *Infra) requestWindow(group int) {
+	geo := in.a.Geometry()
+	start, depth := in.nextWindow(group)
+	drives := geo.DataDrives
+	wf := &windowFill{
+		tetris:  newTetris(group, start, drives),
+		buckets: make([]*Bucket, drives),
+		pending: drives,
+	}
+	for d := 0; d < drives; d++ {
+		d := d
+		fbn := bitmap.BlockOf(uint64(geo.VBNOf(group, d, start)))
+		in.pendingOps++
+		in.w.Send(in.aggrRangeAff(fbn), sim.CatInfra, func(t *sim.Thread) {
+			b := in.fillBucket(t, group, d, start, depth, wf.tetris)
+			wf.buckets[d] = b
+			wf.pending--
+			if !in.opts.EqualProgress {
+				// Ablation: insert each bucket as soon as it fills, with
+				// no synchronized whole-window insertion. Drives fall out
+				// of lockstep and some idle while others queue.
+				in.installBucketEarly(t, wf, b)
+				return
+			}
+			if wf.pending == 0 {
+				in.installWindow(t, wf)
+			}
+		}, func() { in.opDone() })
+	}
+}
+
+// installBucketEarly is the EqualProgress=false path: one bucket goes
+// straight to the cache. Tetris accounting still works — outstanding is
+// incremented per inserted bucket — and the window refills once every
+// drive's fill has landed (or been dropped).
+func (in *Infra) installBucketEarly(t *sim.Thread, wf *windowFill, b *Bucket) {
+	if in.draining || !in.inCP {
+		for _, vbn := range b.vbns {
+			in.reserved.clear(uint64(vbn))
+		}
+		return
+	}
+	if len(b.vbns) > 0 {
+		wf.tetris.outstanding++
+		wf.tetris.initialBuckets++
+		in.cacheMu.Lock(t)
+		in.cache = append(in.cache, b)
+		in.cacheMu.Unlock(t)
+		in.stats.BucketsFilled++
+		in.cacheCond.Signal()
+	}
+	if wf.pending == 0 && wf.tetris.initialBuckets == 0 {
+		in.stats.WindowsSkipped++
+		in.requestWindow(wf.tetris.group)
+	}
+}
+
+// installWindow places a completed window's buckets into the bucket cache.
+// With EqualProgress (the paper's synchronized insertion) all buckets of
+// the window land together; the ablation inserts them as they come.
+func (in *Infra) installWindow(t *sim.Thread, wf *windowFill) {
+	if in.draining || !in.inCP {
+		// The CP is quiescing: a bucket inserted now would outlive the
+		// reservation reset at EndCP and collide with the next CP's
+		// fills. Release the reservations and drop the window.
+		for _, b := range wf.buckets {
+			if b == nil {
+				continue
+			}
+			for _, vbn := range b.vbns {
+				in.reserved.clear(uint64(vbn))
+			}
+		}
+		return
+	}
+	nonEmpty := 0
+	for _, b := range wf.buckets {
+		if b != nil && len(b.vbns) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		in.stats.WindowsSkipped++
+		in.requestWindow(wf.tetris.group)
+		return
+	}
+	wf.tetris.outstanding = nonEmpty
+	wf.tetris.initialBuckets = nonEmpty
+	in.cacheMu.Lock(t)
+	for _, b := range wf.buckets {
+		if b != nil && len(b.vbns) > 0 {
+			in.cache = append(in.cache, b)
+			in.stats.BucketsFilled++
+		}
+	}
+	in.cacheMu.Unlock(t)
+	for i := 0; i < nonEmpty; i++ {
+		in.cacheCond.Signal()
+	}
+}
+
+// GetBucket removes and returns the next available bucket, blocking on the
+// bucket cache until the infrastructure has one ready. In the pre-White-
+// Alligator serial mode the caller fills the cache itself, inline.
+func (in *Infra) GetBucket(t *sim.Thread) *Bucket {
+	t.Consume(in.costs.BucketOp)
+	in.cacheMu.Lock(t)
+	if in.opts.CleanInSerialAffinity {
+		for len(in.cache) == 0 {
+			in.fillWindowInline(t, in.serialGroup)
+			in.serialGroup = (in.serialGroup + 1) % in.a.Groups()
+		}
+	}
+	for len(in.cache) == 0 {
+		in.stats.GetWaits++
+		in.cacheCond.WaitWith(t, in.cacheMu)
+	}
+	b := in.cache[0]
+	in.cache = in.cache[1:]
+	in.cacheMu.Unlock(t)
+	return b
+}
+
+// PutBucket returns a bucket whose VBNs have been consumed (or that the
+// cleaner no longer needs): the bucket joins the used queue and a commit
+// message updates the allocation metafiles; if it was the window's last
+// outstanding bucket, the tetris I/O is built and sent to RAID.
+func (in *Infra) PutBucket(t *sim.Thread, b *Bucket) {
+	t.Consume(in.costs.BucketOp)
+	te := b.tetris
+	te.outstanding--
+	if te.outstanding == 0 && te.blocks > 0 {
+		in.sendTetris(t, te)
+	}
+	if in.opts.CleanInSerialAffinity {
+		// Exclusive-access mode: apply the commit inline.
+		in.commitBucketBody(t, b)
+		return
+	}
+	in.usedQueue = append(in.usedQueue, b)
+	in.pendingOps++
+	fbn := bitmap.BlockOf(uint64(in.a.Geometry().VBNOf(b.group, b.drive, b.window)))
+	in.w.Send(in.aggrRangeAff(fbn), sim.CatInfra, func(wt *sim.Thread) {
+		in.commitBucket(wt)
+	}, func() { in.opDone() })
+}
+
+// commitBucket pops the oldest used bucket and applies its allocations to
+// the activemap.
+func (in *Infra) commitBucket(t *sim.Thread) {
+	if len(in.usedQueue) == 0 {
+		return
+	}
+	b := in.usedQueue[0]
+	in.usedQueue = in.usedQueue[1:]
+	in.commitBucketBody(t, b)
+}
+
+// commitBucketBody applies one bucket's allocations to the activemap.
+func (in *Infra) commitBucketBody(t *sim.Thread, b *Bucket) {
+	used := b.Used()
+	blocks := distinctAmapBlocks(used)
+	t.ConsumeAs(sim.CatInfra, sim.Duration(blocks)*in.costs.CommitPerBlock+sim.Duration(len(used))*in.costs.CommitPerBit)
+	for _, vbn := range used {
+		if in.a.Activemap.IsSet(uint64(vbn)) {
+			panic(fmt.Sprintf("core: double allocation of %v committing bucket group=%d drive=%d window=%d (reserved=%v pendingFree=%v) last setter: %s",
+				vbn, b.group, b.drive, b.window, in.reserved.test(uint64(vbn)), in.pendingFree.test(uint64(vbn)), traceOf(uint64(vbn))))
+		}
+		traceSet(uint64(vbn), "commitBucket g=%d d=%d win=%d cp=%d", b.group, b.drive, b.window, in.a.CPCount())
+		in.a.Activemap.Set(uint64(vbn))
+	}
+	for _, vbn := range b.vbns {
+		in.reserved.clear(uint64(vbn))
+	}
+	in.stats.BucketsCommitted++
+
+	// Refill: when the whole window has been committed, fill the next one.
+	te := b.tetris
+	te.committedBuckets++
+	if te.committedBuckets == cap0(te) && !in.draining && in.inCP {
+		in.requestWindow(te.group)
+	}
+}
+
+func cap0(te *Tetris) int { return te.initialBuckets }
+
+// distinctAmapBlocks counts the distinct activemap blocks covering a VBN
+// set — the number of metafile blocks a commit dirties.
+func distinctAmapBlocks(vbns []block.VBN) int {
+	n := 0
+	last := block.FBN(^uint64(0))
+	for _, v := range vbns {
+		fbn := bitmap.BlockOf(uint64(v))
+		if fbn != last {
+			n++
+			last = fbn
+		}
+	}
+	return n
+}
+
+// sendTetris builds the window's write I/O and submits it to RAID,
+// charging parity XOR to the RAID category.
+func (in *Infra) sendTetris(t *sim.Thread, te *Tetris) {
+	t.Consume(in.costs.TetrisSend)
+	in.stats.TetrisesSent++
+	in.stats.TetrisBlocks += uint64(te.blocks)
+	in.pendingIO++
+	writes := te.perDrive
+	// Reset so a bucket inserted into this window later (the
+	// EqualProgress=false ablation) accumulates a fresh, smaller I/O
+	// instead of resending these blocks.
+	te.perDrive = make([][]storage.WriteReq, len(writes))
+	te.blocks = 0
+	res := in.a.Group(te.group).Write(writes, in.costs.ParityPerBlock, func() {
+		in.ioDone()
+	})
+	if res.ParityCPU > 0 {
+		t.ConsumeAs(sim.CatRAID, res.ParityCPU)
+	}
+}
+
+// AddIO registers an externally-submitted storage I/O (the CP engine's
+// metafile writes) with the drain accounting.
+func (in *Infra) AddIO() { in.pendingIO++ }
+
+// IODone is the completion callback for AddIO.
+func (in *Infra) IODone() { in.ioDone() }
+
+func (in *Infra) ioDone() {
+	in.pendingIO--
+	if in.pendingIO == 0 {
+		in.drainCond.Broadcast()
+	}
+}
+
+func (in *Infra) opDone() {
+	in.pendingOps--
+	if in.pendingOps == 0 {
+		in.drainCond.Broadcast()
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"wafl/internal/aggregate"
+	"wafl/internal/bitmap"
+	"wafl/internal/block"
+	"wafl/internal/sim"
+)
+
+// vRegionBits is the size of a virtual Allocation Area: the VVBN span
+// covered by one volume-activemap block, so a fill touches one metafile
+// block (and one Range affinity).
+const vRegionBits = bitmap.BitsPerBlock
+
+// selectVRegion picks the virtual region with the most free VVBNs,
+// excluding regions already used this CP. The scan cost is charged by the
+// caller via the returned word count.
+func (in *Infra) selectVRegion(vs *volState) (int, int) {
+	nRegions := int((vs.vol.VVBNBlocks() + vRegionBits - 1) / vRegionBits)
+	best, words := -1, 0
+	var bestFree uint64
+	for r := 0; r < nRegions; r++ {
+		if vs.usedRegions[r] {
+			continue
+		}
+		lo := uint64(r) * vRegionBits
+		hi := lo + vRegionBits
+		n, w := vs.vol.Activemap.CountFree(lo, hi)
+		words += w
+		if n > bestFree {
+			best, bestFree = r, n
+		}
+	}
+	return best, words
+}
+
+// findFreeVirt is findFreePhys for a volume's VVBN space.
+func (in *Infra) findFreeVirt(vs *volState, lo, hi uint64, max int) ([]block.VVBN, int) {
+	out := make([]block.VVBN, 0, max)
+	words := 0
+	for lo < hi && len(out) < max {
+		raw, w := vs.vol.Activemap.FindFree(nil, lo, hi, max)
+		words += w
+		if len(raw) == 0 {
+			break
+		}
+		for _, bn := range raw {
+			if len(out) == max {
+				break
+			}
+			if vs.pendingFree.test(bn) || vs.reserved.test(bn) {
+				continue
+			}
+			out = append(out, block.VVBN(bn))
+		}
+		lo = raw[len(raw)-1] + 1
+	}
+	return out, words
+}
+
+// scanVBucket finds the next chunk of free VVBNs for the volume, charging
+// the scan to the executing thread.
+func (in *Infra) scanVBucket(t *sim.Thread, vs *volState) []block.VVBN {
+	chunk := uint64(in.opts.ChunkBlocks)
+	var vvbns []block.VVBN
+	fillWords := 0
+	for len(vvbns) == 0 {
+		if vs.region < 0 || vs.cursor >= uint64(vs.region+1)*vRegionBits {
+			r, words := in.selectVRegion(vs)
+			fillWords += words
+			if r < 0 {
+				// Every region was already used this CP: lift the
+				// exclusion and re-pick (reservation and pending-free
+				// filtering keep reuse safe; this only costs layout
+				// locality).
+				vs.usedRegions = make(map[int]bool)
+				r, words = in.selectVRegion(vs)
+				fillWords += words
+			}
+			if r < 0 {
+				panic("core: volume out of virtual space (volume full)")
+			}
+			vs.region = r
+			vs.usedRegions[r] = true
+			vs.cursor = uint64(r) * vRegionBits
+		}
+		hi := vs.cursor + chunk
+		if regionEnd := uint64(vs.region+1) * vRegionBits; hi > regionEnd {
+			hi = regionEnd
+		}
+		if limit := vs.vol.VVBNBlocks(); hi > limit {
+			hi = limit
+		}
+		var words int
+		vvbns, words = in.findFreeVirt(vs, vs.cursor, hi, int(chunk))
+		fillWords += words
+		vs.cursor = hi
+	}
+	in.stats.FillWords += uint64(fillWords)
+	t.ConsumeAs(sim.CatInfra, in.costs.FillFixed+sim.Duration(fillWords)*in.costs.FillPerWord)
+	return vvbns
+}
+
+// installVBucket reserves the scanned VVBNs and adds the bucket to the
+// volume's cache.
+func (in *Infra) installVBucket(vs *volState, vvbns []block.VVBN) {
+	for _, vv := range vvbns {
+		vs.reserved.set(uint64(vv))
+	}
+	vs.cache = append(vs.cache, &VBucket{vol: vs.vol, vvbns: vvbns})
+	in.stats.VBucketsFilled++
+	vs.cond.Signal()
+}
+
+// requestVBucket sends a fill message that builds one virtual bucket for
+// the volume.
+func (in *Infra) requestVBucket(vs *volState) {
+	vs.pendingFills++
+	in.pendingOps++
+	fbn := bitmap.BlockOf(vs.cursor)
+	in.w.Send(in.volRangeAff(vs.vol.ID(), fbn), sim.CatInfra, func(t *sim.Thread) {
+		vvbns := in.scanVBucket(t, vs)
+		vs.pendingFills--
+		if in.draining || !in.inCP {
+			return // quiescing: drop the fill (nothing was reserved yet)
+		}
+		in.installVBucket(vs, vvbns)
+	}, func() { in.opDone() })
+}
+
+// GetVBucket returns a virtual bucket for the volume, blocking until one is
+// available, and tops the per-volume cache back up to its target.
+func (in *Infra) GetVBucket(t *sim.Thread, vol *aggregate.Volume) *VBucket {
+	t.Consume(in.costs.BucketOp)
+	vs := in.vols[vol.ID()]
+	if in.opts.CleanInSerialAffinity {
+		for len(vs.cache) == 0 {
+			in.installVBucket(vs, in.scanVBucket(t, vs))
+		}
+	}
+	for len(vs.cache) == 0 {
+		if vs.pendingFills == 0 && in.inCP && !in.draining {
+			in.requestVBucket(vs)
+		}
+		in.stats.GetWaits++
+		vs.cond.Wait(t)
+	}
+	vb := vs.cache[0]
+	vs.cache = vs.cache[1:]
+	if !in.draining && in.inCP && len(vs.cache)+vs.pendingFills < in.opts.VolBucketsReady {
+		in.requestVBucket(vs)
+	}
+	return vb
+}
+
+// PutVBucket returns a used virtual bucket; a commit message applies its
+// VVBN allocations and container-map entries in batch.
+func (in *Infra) PutVBucket(t *sim.Thread, vb *VBucket) {
+	t.Consume(in.costs.BucketOp)
+	vs := in.vols[vb.vol.ID()]
+	if vb.next == 0 {
+		// Nothing used: release reservations directly.
+		for _, vv := range vb.vvbns {
+			vs.reserved.clear(uint64(vv))
+		}
+		return
+	}
+	if in.opts.CleanInSerialAffinity {
+		in.commitVBucketBody(t, vs, vb)
+		return
+	}
+	in.pendingOps++
+	fbn := bitmap.BlockOf(uint64(vb.vvbns[0]))
+	in.w.Send(in.volRangeAff(vb.vol.ID(), fbn), sim.CatInfra, func(wt *sim.Thread) {
+		in.commitVBucketBody(wt, vs, vb)
+	}, func() { in.opDone() })
+}
+
+// commitVBucketBody applies a used virtual bucket's allocations and
+// container entries.
+func (in *Infra) commitVBucketBody(wt *sim.Thread, vs *volState, vb *VBucket) {
+	used := vb.vvbns[:vb.next]
+	amapBlocks := distinctVmapBlocks(used)
+	contBlocks := distinctContainerBlocks(used)
+	wt.ConsumeAs(sim.CatInfra,
+		sim.Duration(amapBlocks+contBlocks)*in.costs.CommitPerBlock+
+			sim.Duration(len(used))*in.costs.CommitPerBit+
+			sim.Duration(len(used))*in.costs.ContainerEntry)
+	for i, vv := range used {
+		vb.vol.Activemap.Set(uint64(vv))
+		vb.vol.SetContainer(vv, vb.pvbns[i])
+	}
+	for _, vv := range vb.vvbns {
+		vs.reserved.clear(uint64(vv))
+	}
+	in.stats.VBucketsCommitted++
+}
+
+// distinctVmapBlocks counts distinct volume-activemap blocks covering a
+// VVBN set.
+func distinctVmapBlocks(vvbns []block.VVBN) int {
+	n := 0
+	last := block.FBN(^uint64(0))
+	for _, v := range vvbns {
+		fbn := bitmap.BlockOf(uint64(v))
+		if fbn != last {
+			n++
+			last = fbn
+		}
+	}
+	return n
+}
+
+// distinctContainerBlocks counts distinct container-map blocks for a VVBN
+// set.
+func distinctContainerBlocks(vvbns []block.VVBN) int {
+	n := 0
+	last := block.FBN(^uint64(0))
+	for _, v := range vvbns {
+		fbn := block.FBN(uint64(v) / aggregate.ContainerEntriesPerBlock)
+		if fbn != last {
+			n++
+			last = fbn
+		}
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package core
+
+// AAPolicy selects how the infrastructure picks the next Allocation Area.
+type AAPolicy int
+
+// Allocation Area selection policies.
+const (
+	// AAMostFree is the paper's policy: the AA with the most free blocks,
+	// maximizing full-stripe writes and contiguity (§IV-D).
+	AAMostFree AAPolicy = iota
+	// AAFirstFit takes the lowest AA with space — the ablation baseline.
+	AAFirstFit
+	// AARoundRobin cycles AAs regardless of occupancy.
+	AARoundRobin
+)
+
+func (p AAPolicy) String() string {
+	switch p {
+	case AAMostFree:
+		return "most-free"
+	case AAFirstFit:
+		return "first-fit"
+	case AARoundRobin:
+		return "round-robin"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures the White Alligator allocator. The zero value is not
+// usable; start from DefaultOptions.
+type Options struct {
+	// ChunkBlocks is the bucket size and tetris depth in blocks: the run
+	// of consecutive DBNs a bucket covers on one drive. "Typically a
+	// multiple of 64 blocks" (§IV-C). Setting it to 1 degenerates to
+	// one-VBN-at-a-time allocation — legal, and the bucket-size ablation
+	// measures what that costs.
+	ChunkBlocks int
+
+	// InfraParallel routes infrastructure messages to per-range Waffinity
+	// affinities (true, the White Alligator design) or serializes them all
+	// through the single per-aggregate/per-volume VBN affinity (false, the
+	// pre-White-Alligator instrumented baseline of §V-A).
+	InfraParallel bool
+
+	// MaxCleaners is the cleaner-thread pool size.
+	MaxCleaners int
+	// InitialCleaners is how many start active (Dynamic adjusts it).
+	InitialCleaners int
+	// Dynamic enables the 50ms utilization-driven tuner of §V-B.
+	Dynamic bool
+
+	// CleanInSerialAffinity reproduces the pre-2008 design: inode cleaning
+	// runs as messages in the Serial affinity, excluding all client work
+	// (§III-C history). Used by the history example, not the main benches.
+	CleanInSerialAffinity bool
+
+	// BatchedCleaning packs up to BatchSize small inodes (few dirty
+	// buffers each) into one cleaning job to amortize per-message
+	// overhead (§V-C).
+	BatchedCleaning bool
+	BatchSize       int
+	// BatchBufferLimit: only inodes with at most this many frozen buffers
+	// are eligible for batching.
+	BatchBufferLimit int
+
+	// SplitLargeFiles lets multiple cleaner threads work on one inode by
+	// carving its L0 range into SplitJobs jobs (§V-C, last paragraph).
+	SplitLargeFiles bool
+	SplitThreshold  int // minimum frozen L0 count to split
+	SplitJobs       int
+
+	// WindowsAhead is how many tetris windows per RAID group the
+	// infrastructure keeps filled in the bucket cache.
+	WindowsAhead int
+	// VolBucketsReady is the per-volume target of ready virtual buckets.
+	VolBucketsReady int
+
+	// StageSize is the free-stage capacity before a commit message is
+	// sent (in blocks).
+	StageSize int
+
+	// AASelection picks the Allocation Area policy.
+	AASelection AAPolicy
+
+	// EqualProgress inserts refilled buckets into the cache only as whole
+	// drive sets (the paper's synchronized insertion, objective 3). When
+	// false (ablation), each bucket is inserted as soon as it refills.
+	EqualProgress bool
+
+	// LooseAccounting stages counter updates in per-thread tokens flushed
+	// in batches (§III-C). When false (ablation), every update takes the
+	// global counter lock.
+	LooseAccounting bool
+}
+
+// DefaultOptions returns the standard White Alligator configuration.
+func DefaultOptions() Options {
+	return Options{
+		ChunkBlocks:      64,
+		InfraParallel:    true,
+		MaxCleaners:      6,
+		InitialCleaners:  4,
+		Dynamic:          false,
+		BatchedCleaning:  false,
+		BatchSize:        8,
+		BatchBufferLimit: 16,
+		SplitLargeFiles:  true,
+		SplitThreshold:   2048,
+		SplitJobs:        4,
+		WindowsAhead:     8,
+		VolBucketsReady:  12,
+		StageSize:        64,
+		AASelection:      AAMostFree,
+		EqualProgress:    true,
+		LooseAccounting:  true,
+	}
+}

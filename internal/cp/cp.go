@@ -1,0 +1,289 @@
+// Package cp implements the consistency-point engine (paper §II-C): the
+// transaction that atomically flushes all dirty state to new locations on
+// persistent storage. A CP freezes the dirty-inode lists, drives the
+// cleaner pool and White Alligator infrastructure through inode cleaning,
+// writes inode records and volume metafiles, flushes the self-referential
+// aggregate activemap, and finally commits by overwriting the superblock in
+// place. After the commit, the NVRAM log half that fed the CP is freed.
+package cp
+
+import (
+	"fmt"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/block"
+	"wafl/internal/core"
+	"wafl/internal/fs"
+	"wafl/internal/nvlog"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+	"wafl/internal/waffinity"
+)
+
+// Stats holds cumulative CP engine counters.
+type Stats struct {
+	CPs             uint64
+	InodesCleaned   uint64
+	RecordsWritten  uint64
+	ZombiesReaped   uint64
+	AmapWrites      uint64
+	TotalDuration   sim.Duration
+	LastDuration    sim.Duration
+	CleanDuration   sim.Duration // user-file cleaning phase (cumulative)
+	MetaDuration    sim.Duration // metafile flush phases (cumulative)
+	BackToBack      uint64       // CPs that started with another already requested
+	LongestDuration sim.Duration
+}
+
+// Engine orchestrates consistency points on its own simulated thread.
+type Engine struct {
+	s     *sim.Scheduler
+	w     *waffinity.Scheduler
+	h     *waffinity.Hierarchy
+	a     *aggregate.Aggregate
+	in    *core.Infra
+	pool  *core.Pool
+	log   *nvlog.Log
+	costs core.CostModel
+
+	trigger *sim.WaitQueue
+	cpDone  *sim.WaitQueue
+	wantCP  bool
+	running bool
+	stopped bool
+
+	stats Stats
+}
+
+// New creates the engine and starts its thread.
+func New(w *waffinity.Scheduler, h *waffinity.Hierarchy, a *aggregate.Aggregate, in *core.Infra, pool *core.Pool, log *nvlog.Log, costs core.CostModel) *Engine {
+	e := &Engine{
+		s: a.Sched(), w: w, h: h, a: a, in: in, pool: pool, log: log, costs: costs,
+		trigger: sim.NewWaitQueue(a.Sched(), "cp-trigger"),
+		cpDone:  sim.NewWaitQueue(a.Sched(), "cp-done"),
+	}
+	e.s.Go("cp-engine", sim.CatCP, func(t *sim.Thread) { e.loop(t) })
+	return e
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Running reports whether a CP is in progress.
+func (e *Engine) Running() bool { return e.running }
+
+// Stop makes the engine thread exit after the current CP.
+func (e *Engine) Stop() {
+	e.stopped = true
+	e.trigger.Signal()
+}
+
+// RequestCP asks for a consistency point. If one is already running, the
+// request is remembered and a back-to-back CP follows immediately — the
+// state in which client writes stall on NVRAM space.
+func (e *Engine) RequestCP() {
+	if e.running {
+		e.wantCP = true
+		return
+	}
+	e.wantCP = true
+	e.trigger.Signal()
+}
+
+// WaitCPDone blocks the calling thread until the next CP completes. Client
+// operations stalled on NVRAM space use it to wait for a half to free up.
+func (e *Engine) WaitCPDone(t *sim.Thread) {
+	e.cpDone.Wait(t)
+}
+
+func (e *Engine) loop(t *sim.Thread) {
+	for !e.stopped {
+		for !e.wantCP && !e.stopped {
+			e.trigger.Wait(t)
+		}
+		if e.stopped {
+			return
+		}
+		e.wantCP = false
+		e.running = true
+		e.runCP(t)
+		e.running = false
+		if e.wantCP {
+			e.stats.BackToBack++
+		}
+		e.cpDone.Broadcast()
+	}
+}
+
+// runCP executes one full consistency point on the engine thread.
+func (e *Engine) runCP(t *sim.Thread) {
+	start := t.Now()
+
+	// Phase 1: freeze. Atomically capture the dirty state: switch NVRAM
+	// halves and move every dirty inode's buffers into its frozen set.
+	e.log.Switch()
+	var dirtyVols []*aggregate.Volume
+	frozen := make(map[int][]*fs.File)
+	for _, v := range e.a.Volumes() {
+		files := v.FreezeAll()
+		if len(files) > 0 {
+			dirtyVols = append(dirtyVols, v)
+			frozen[v.ID()] = files
+			t.Consume(sim.Duration(len(files)) * e.costs.CPPerInode)
+		}
+	}
+
+	// Phase 1b: zombie processing — deleted files' on-disk blocks are
+	// reclaimed through the same free-commit machinery, and their inode
+	// records cleared. Deferred deletion, as in WAFL.
+	e.in.StartCP(dirtyVols)
+	for _, v := range e.a.Volumes() {
+		for _, z := range v.TakeZombies() {
+			if z.FrozenCount() > 0 {
+				// The file was frozen into this very CP before being
+				// deleted: its cleaning is about to rewrite the tree and
+				// its record. Reap it next CP, from the stable image.
+				v.DeferZombie(z)
+				continue
+			}
+			pvbns, vvbns, walked := v.ZombieBlocks(z)
+			t.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
+			e.in.CommitFrees(t, -1, pvbns)
+			e.in.CommitFrees(t, v.ID(), vvbns)
+			// Zombie frees happen outside any cleaner token: account them
+			// directly (the CP thread is uncontended).
+			e.in.Counters.Add(e.in.AggrFreeID(), int64(len(pvbns)))
+			e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(len(vvbns)))
+			v.ClearRecord(z.Ino())
+			e.stats.ZombiesReaped++
+		}
+	}
+
+	// Phase 2: inode cleaning through the White Alligator API.
+	var jobs []*core.Job
+	for _, v := range dirtyVols {
+		jobs = append(jobs, e.pool.BuildJobs(v, frozen[v.ID()], true)...)
+	}
+	cleanStart := t.Now()
+	e.pool.RunPhase(t, jobs)
+	// Wait only for infrastructure messages: the allocation-bitmap state
+	// must be final before metafiles are cleaned, but the tetris write
+	// I/Os keep flowing underneath the metafile phases.
+	e.in.DrainOps(t)
+	e.stats.CleanDuration += sim.Duration(t.Now() - cleanStart)
+
+	// Phase 3: inode records. Roots are final; serialize the records into
+	// the inode files.
+	metaStart := t.Now()
+	for _, v := range dirtyVols {
+		for _, f := range frozen[v.ID()] {
+			v.WriteRecord(f)
+			t.Consume(e.costs.RecordWrite)
+			e.stats.RecordsWritten++
+		}
+		e.stats.InodesCleaned += uint64(len(frozen[v.ID()]))
+	}
+
+	// Phase 4: volume metafiles (inode file, container map, volume
+	// activemap), cleaned through the same allocator.
+	e.in.Prefill()
+	var metaJobs []*core.Job
+	for _, v := range e.a.Volumes() {
+		for _, mf := range v.Metafiles() {
+			if mf.FrozenCount() > 0 {
+				metaJobs = append(metaJobs, &core.Job{Vol: v, Files: []*fs.File{mf}, Mode: core.JobFull})
+			}
+		}
+	}
+	e.pool.RunPhase(t, metaJobs)
+
+	// Phase 5: volume table.
+	e.a.WriteVolumeEntries()
+	if e.a.VolTableFile().FrozenCount() > 0 {
+		e.pool.RunPhase(t, []*core.Job{{Files: []*fs.File{e.a.VolTableFile()}, Mode: core.JobFull}})
+	}
+	e.in.DrainOps(t)
+
+	// Phase 6: the self-referential aggregate activemap, via the
+	// fixed-point flush planner; then wait for every outstanding write
+	// I/O before committing.
+	freeBefore := int64(e.a.TotalFree())
+	writes := e.a.PlanAmapFlush(func() block.VBN { return e.in.FindMetaVBN(t) })
+	// The flush planner allocates and frees directly; reconcile the loose
+	// global counter with the net change — the per-CP "audit and correct"
+	// step loose accounting requires (§III-C).
+	e.in.Counters.Add(e.in.AggrFreeID(), int64(e.a.TotalFree())-freeBefore)
+	e.stats.AmapWrites += uint64(len(writes))
+	t.ConsumeAs(sim.CatInfra, sim.Duration(len(writes))*e.costs.CommitPerBlock)
+	e.issueAmapWrites(t, writes)
+	e.in.DrainIO(t)
+	e.stats.MetaDuration += sim.Duration(t.Now() - metaStart)
+
+	// Phase 7: commit. The superblock overwrite is the atomic transition
+	// to the new file system tree; afterwards the NVRAM half that fed
+	// this CP is freed and same-CP-freed blocks become allocatable.
+	e.a.SetCPCount(e.a.CPCount() + 1)
+	e.a.WriteSuperblock(t)
+	e.log.FreeFrozen()
+	e.in.EndCP()
+
+	d := sim.Duration(t.Now() - start)
+	e.stats.CPs++
+	e.stats.TotalDuration += d
+	e.stats.LastDuration = d
+	if d > e.stats.LongestDuration {
+		e.stats.LongestDuration = d
+	}
+}
+
+// issueAmapWrites sends the planned activemap block writes to RAID, one
+// grouped write per RAID group.
+func (e *Engine) issueAmapWrites(t *sim.Thread, writes []aggregate.AmapWrite) {
+	if len(writes) == 0 {
+		return
+	}
+	geo := e.a.Geometry()
+	perGroup := make(map[int][][]storage.WriteReq)
+	for _, w := range writes {
+		g, d, dbn := geo.Locate(w.VBN)
+		reqs := perGroup[g]
+		if reqs == nil {
+			reqs = make([][]storage.WriteReq, geo.DataDrives)
+		}
+		reqs[d] = append(reqs[d], storage.WriteReq{DBN: dbn, Data: w.Data})
+		perGroup[g] = reqs
+	}
+	for g := 0; g < e.a.Groups(); g++ {
+		reqs, ok := perGroup[g]
+		if !ok {
+			continue
+		}
+		e.in.AddIO()
+		res := e.a.Group(g).Write(reqs, e.costs.ParityPerBlock, e.in.IODone)
+		if res.ParityCPU > 0 {
+			t.ConsumeAs(sim.CatRAID, res.ParityCPU)
+		}
+	}
+}
+
+// VerifyClean panics if any file still has frozen buffers after a CP — a
+// development invariant check used by tests.
+func (e *Engine) VerifyClean() error {
+	var bad []string
+	check := func(f *fs.File, tag string) {
+		if f.FrozenCount() > 0 {
+			bad = append(bad, fmt.Sprintf("%s ino %d: %d frozen", tag, f.Ino(), f.FrozenCount()))
+		}
+	}
+	check(e.a.AmapFile(), "aggr amap")
+	check(e.a.VolTableFile(), "voltable")
+	for _, v := range e.a.Volumes() {
+		for _, mf := range v.Metafiles() {
+			check(mf, fmt.Sprintf("vol%d metafile", v.ID()))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("cp: uncleaned state after CP: %v", bad)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package fs implements the in-memory copy-on-write file system core: block
+// buffers with consistency-point COW semantics, files as radix trees of
+// indirect blocks (dual VVBN/VBN pointers, as in WAFL), per-file dirty-set
+// management across consistency-point freezes, and the serialized inode
+// records stored in inode metafiles.
+//
+// The package is deliberately mechanism-only: it knows nothing about drives,
+// allocators, or scheduling. The consistency-point engine (internal/cp) and
+// the write allocator (internal/core) drive it through the cleaning
+// iteration API on File.
+package fs
+
+import (
+	"wafl/internal/block"
+)
+
+// Buffer is the in-memory image of one block of a file, at any tree level
+// (level 0 = user/metafile data, higher levels = indirect blocks).
+//
+// CoW semantics during a consistency point (paper §II-C): when a CP freezes
+// a dirty buffer, the buffer is marked inCP. If a client modifies the buffer
+// while it is inCP and not yet cleaned, the pre-modification image is
+// preserved as the CP image (cpData) and the live image (data) is cloned for
+// the modification; the change lands in the *next* CP. Once the cleaner has
+// submitted the buffer's CP image for writing, the buffer is sealed: the
+// submitted array is referenced by the drive media and must never be
+// mutated, so the next modification clones first.
+type Buffer struct {
+	fbn   block.FBN
+	level int
+
+	data   []byte // live image
+	cpData []byte // frozen CP image, set only if modified while inCP
+	inCP   bool   // frozen into the running CP, not yet cleaned
+	sealed bool   // live image was submitted to storage; clone before mutating
+
+	dirtyCurr   bool // dirty in the open (accepting) generation
+	dirtyFrozen bool // dirty in the freezing CP's set
+
+	vvbn block.VVBN // current on-disk virtual location (InvalidVVBN if none)
+	vbn  block.VBN  // current on-disk physical location (InvalidVBN if none)
+}
+
+func newBuffer(fbn block.FBN, level int) *Buffer {
+	return &Buffer{
+		fbn:   fbn,
+		level: level,
+		data:  block.New(),
+		vvbn:  block.InvalidVVBN,
+		vbn:   block.InvalidVBN,
+	}
+}
+
+// FBN returns the buffer's file block number (for level > 0, the lowest FBN
+// it covers).
+func (b *Buffer) FBN() block.FBN { return b.fbn }
+
+// Level returns the buffer's tree level (0 = data).
+func (b *Buffer) Level() int { return b.level }
+
+// VVBN returns the buffer's current on-disk virtual address.
+func (b *Buffer) VVBN() block.VVBN { return b.vvbn }
+
+// VBN returns the buffer's current on-disk physical address.
+func (b *Buffer) VBN() block.VBN { return b.vbn }
+
+// InCP reports whether the buffer is frozen into the running CP.
+func (b *Buffer) InCP() bool { return b.inCP }
+
+// DirtyCurr reports whether the buffer is dirty in the open generation.
+func (b *Buffer) DirtyCurr() bool { return b.dirtyCurr }
+
+// DirtyFrozen reports whether the buffer is dirty in the freezing CP's set.
+func (b *Buffer) DirtyFrozen() bool { return b.dirtyFrozen }
+
+// Data returns the live image for reading. Callers must not mutate it; use
+// MutableData for writes.
+func (b *Buffer) Data() []byte { return b.data }
+
+// CPImage returns the image that belongs to the running CP: the preserved
+// pre-modification copy if the buffer was modified while frozen, otherwise
+// the live image.
+func (b *Buffer) CPImage() []byte {
+	if b.cpData != nil {
+		return b.cpData
+	}
+	return b.data
+}
+
+// MutableData returns the live image for mutation, performing whatever
+// copy-on-write the buffer's state requires:
+//
+//   - inCP and not yet preserved: the current image becomes the CP image and
+//     the live image is cloned (the modification belongs to the next CP);
+//   - sealed (already submitted to storage): the live image is cloned so the
+//     media's reference stays immutable.
+//
+// Returns true in the second return value if this call dirtied state that
+// the caller must record (the caller always marks dirty anyway; the flag
+// reports whether a CoW copy happened, for statistics).
+func (b *Buffer) MutableData() ([]byte, bool) {
+	cowed := false
+	if b.inCP && b.cpData == nil {
+		b.cpData = b.data
+		b.data = block.Clone(b.data)
+		cowed = true
+	} else if b.sealed {
+		b.data = block.Clone(b.data)
+		b.sealed = false
+		cowed = true
+	}
+	return b.data, cowed
+}
+
+// CPMutableData returns the running CP's image for mutation by CP-side code
+// (the cleaner updating a parent indirect's child pointers, the
+// infrastructure updating allocation-metafile bits, inode-record
+// serialization). Unlike MutableData, a modification through this method
+// belongs to the *current* CP.
+//
+// Indirect and metafile buffers are mutated only by CP-side code, so their
+// CP image and live image are the same array and updates are visible to
+// both; the method unseals (clones) if the live image was already submitted
+// to storage in an earlier CP.
+func (b *Buffer) CPMutableData() []byte {
+	if b.cpData != nil {
+		return b.cpData
+	}
+	if b.sealed {
+		b.data = block.Clone(b.data)
+		b.sealed = false
+	}
+	return b.data
+}
+
+// freeze moves the buffer's open-generation dirtiness into the freezing CP.
+func (b *Buffer) freeze() {
+	b.inCP = true
+	b.dirtyFrozen = true
+	b.dirtyCurr = false
+}
+
+// MarkCleaned records that the cleaner submitted the CP image at the new
+// location (vvbn, vbn) and returns the previous location for freeing.
+// After cleaning, the buffer leaves the CP: if the CP image was the live
+// image, the buffer is sealed (the media now references that array).
+func (b *Buffer) MarkCleaned(vvbn block.VVBN, vbn block.VBN) (oldVVBN block.VVBN, oldVBN block.VBN) {
+	oldVVBN, oldVBN = b.vvbn, b.vbn
+	b.vvbn, b.vbn = vvbn, vbn
+	if b.cpData == nil {
+		b.sealed = true
+	}
+	b.cpData = nil
+	b.inCP = false
+	b.dirtyFrozen = false
+	return oldVVBN, oldVBN
+}

@@ -1,0 +1,356 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"wafl/internal/block"
+)
+
+func pattern(tag byte) []byte {
+	b := make([]byte, block.Size)
+	for i := range b {
+		b[i] = tag ^ byte(i)
+	}
+	return b
+}
+
+func TestHeightFor(t *testing.T) {
+	cases := []struct {
+		blocks uint64
+		want   int
+	}{
+		{1, 1}, {256, 1}, {257, 2}, {65536, 2}, {65537, 3}, {1 << 24, 3}, {1<<24 + 1, 4},
+	}
+	for _, c := range cases {
+		if got := HeightFor(c.blocks); got != c.want {
+			t.Errorf("HeightFor(%d) = %d, want %d", c.blocks, got, c.want)
+		}
+	}
+}
+
+func TestWriteReadBlock(t *testing.T) {
+	f := NewFile(1, 2)
+	f.WriteBlock(0, pattern(1))
+	f.WriteBlock(300, pattern(2))
+	if !bytes.Equal(f.ReadBlock(0), pattern(1)) || !bytes.Equal(f.ReadBlock(300), pattern(2)) {
+		t.Fatal("read-after-write mismatch")
+	}
+	if f.ReadBlock(5) != nil {
+		t.Fatal("hole should read nil from cache")
+	}
+	if f.Size() != 301 {
+		t.Fatalf("size = %d, want 301", f.Size())
+	}
+	if f.DirtyCount() != 2 {
+		t.Fatalf("dirty = %d, want 2", f.DirtyCount())
+	}
+}
+
+func TestRewriteSameBlockDirtiesOnce(t *testing.T) {
+	f := NewFile(1, 1)
+	f.WriteBlock(7, pattern(1))
+	f.WriteBlock(7, pattern(2))
+	if f.DirtyCount() != 1 {
+		t.Fatalf("dirty = %d, want 1", f.DirtyCount())
+	}
+	if !bytes.Equal(f.ReadBlock(7), pattern(2)) {
+		t.Fatal("second write lost")
+	}
+}
+
+func TestFreezeMovesDirtySet(t *testing.T) {
+	f := NewFile(1, 1)
+	f.WriteBlock(1, pattern(1))
+	f.WriteBlock(2, pattern(2))
+	n := f.Freeze()
+	if n != 2 || f.FrozenCount() != 2 || f.DirtyCount() != 0 {
+		t.Fatalf("freeze: n=%d frozen=%d dirty=%d", n, f.FrozenCount(), f.DirtyCount())
+	}
+	l0 := f.FrozenLevel(0)
+	if len(l0) != 2 || l0[0].FBN() != 1 || l0[1].FBN() != 2 {
+		t.Fatalf("frozen level 0 = %v", l0)
+	}
+	for _, b := range l0 {
+		if !b.InCP() {
+			t.Fatal("frozen buffer not marked inCP")
+		}
+	}
+}
+
+func TestCOWDuringCP(t *testing.T) {
+	f := NewFile(1, 1)
+	f.WriteBlock(3, pattern(1))
+	f.Freeze()
+	b := f.Buffer(0, 3)
+	// Client overwrites during the CP: the CP image must keep pattern(1).
+	f.WriteBlock(3, pattern(9))
+	if !bytes.Equal(b.CPImage(), pattern(1)) {
+		t.Fatal("CP image lost pre-modification content")
+	}
+	if !bytes.Equal(b.Data(), pattern(9)) {
+		t.Fatal("live image lost client write")
+	}
+	if f.CoWCopies != 1 {
+		t.Fatalf("CoWCopies = %d, want 1", f.CoWCopies)
+	}
+	if f.DirtyCount() != 1 {
+		t.Fatal("client write during CP must dirty the next generation")
+	}
+	// Second write during CP must not copy again.
+	f.WriteBlock(3, pattern(10))
+	if f.CoWCopies != 1 {
+		t.Fatalf("CoWCopies = %d after second write, want 1", f.CoWCopies)
+	}
+}
+
+func TestCleanChildUpdatesParentAndRoot(t *testing.T) {
+	f := NewFile(1, 2)
+	f.WriteBlock(5, pattern(5))
+	f.Freeze()
+
+	b := f.FrozenLevel(0)[0]
+	oldVVBN, oldVBN := f.CleanChild(b, 100, 200)
+	if oldVVBN != block.InvalidVVBN || oldVBN != block.InvalidVBN {
+		t.Fatal("new block should have no old location")
+	}
+	if b.VVBN() != 100 || b.VBN() != 200 {
+		t.Fatal("buffer location not updated")
+	}
+	// Parent (L1 idx 0) must now be frozen-dirty with the pointer set.
+	l1 := f.FrozenLevel(1)
+	if len(l1) != 1 {
+		t.Fatalf("L1 frozen = %d, want 1", len(l1))
+	}
+	vv, vb := PtrAt(l1[0], 5)
+	if vv != 100 || vb != 200 {
+		t.Fatalf("parent pointer = (%v,%v)", vv, vb)
+	}
+	// Clean up the chain: L1 then root (level 2).
+	f.CleanChild(l1[0], 101, 201)
+	l2 := f.FrozenLevel(2)
+	if len(l2) != 1 {
+		t.Fatalf("root level frozen = %d, want 1", len(l2))
+	}
+	vv, vb = PtrAt(l2[0], 0)
+	if vv != 101 || vb != 201 {
+		t.Fatalf("root pointer entry = (%v,%v)", vv, vb)
+	}
+	f.CleanChild(l2[0], 102, 202)
+	if f.RootVVBN != 102 || f.RootVBN != 202 {
+		t.Fatalf("root = (%v,%v)", f.RootVVBN, f.RootVBN)
+	}
+	if f.FrozenCount() != 0 {
+		t.Fatalf("frozen count = %d after full clean", f.FrozenCount())
+	}
+	if f.Gen != 1 {
+		t.Fatalf("gen = %d, want 1", f.Gen)
+	}
+}
+
+func TestRecleanReportsOldLocation(t *testing.T) {
+	f := NewFile(1, 1)
+	f.WriteBlock(0, pattern(1))
+	f.Freeze()
+	b := f.FrozenLevel(0)[0]
+	f.CleanChild(b, 10, 20)
+	f.CleanChild(f.FrozenLevel(1)[0], 11, 21)
+
+	// Overwrite and clean again: the old location must be reported.
+	f.WriteBlock(0, pattern(2))
+	f.Freeze()
+	b2 := f.FrozenLevel(0)[0]
+	if b2 != b {
+		t.Fatal("same FBN should reuse the buffer")
+	}
+	oldVVBN, oldVBN := f.CleanChild(b2, 30, 40)
+	if oldVVBN != 10 || oldVBN != 20 {
+		t.Fatalf("old location = (%v,%v), want (10,20)", oldVVBN, oldVBN)
+	}
+}
+
+func TestSealedBufferCloneOnWrite(t *testing.T) {
+	f := NewFile(1, 1)
+	f.WriteBlock(0, pattern(1))
+	f.Freeze()
+	b := f.FrozenLevel(0)[0]
+	submitted := b.CPImage()
+	f.CleanChild(b, 10, 20)
+	f.CleanChild(f.FrozenLevel(1)[0], 11, 21)
+	// After cleaning, the submitted array is owned by the media; a new
+	// client write must not mutate it.
+	f.WriteBlock(0, pattern(2))
+	if !bytes.Equal(submitted, pattern(1)) {
+		t.Fatal("post-clean write mutated the submitted (persisted) image")
+	}
+}
+
+func TestDirtyIntoCPAndCPMutableData(t *testing.T) {
+	f := NewFile(1, 1)
+	b := f.GetOrCreateL0(3)
+	d := b.CPMutableData()
+	d[0] = 0xEE
+	f.DirtyIntoCP(b)
+	if f.FrozenCount() != 1 {
+		t.Fatal("DirtyIntoCP must add to frozen set")
+	}
+	f.DirtyIntoCP(b) // idempotent
+	if f.FrozenCount() != 1 {
+		t.Fatal("DirtyIntoCP must be idempotent")
+	}
+	if f.CleanChildAll(t) != 2 { // L0 + root
+		t.Fatal("unexpected clean count")
+	}
+}
+
+// CleanChildAll cleans every frozen buffer bottom-up with synthetic
+// locations and returns how many were cleaned. Test helper.
+func (f *File) CleanChildAll(t *testing.T) int {
+	t.Helper()
+	n := 0
+	loc := uint64(1000)
+	for level := 0; level <= f.height; level++ {
+		for _, b := range f.FrozenLevel(level) {
+			f.CleanChild(b, block.VVBN(loc), block.VBN(loc+1))
+			loc += 2
+			n++
+		}
+	}
+	return n
+}
+
+func TestFreezeWithUncleanedFrozenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := NewFile(1, 1)
+	f.WriteBlock(0, pattern(1))
+	f.Freeze()
+	f.WriteBlock(1, pattern(2))
+	f.Freeze() // previous CP incomplete
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	fn := func(ino, size uint64, height uint8, vvbn, vbn, gen uint64) bool {
+		h := uint32(height%MaxHeight) + 1
+		r := Record{
+			Ino: ino, SizeBlocks: size, Height: h, Flags: FlagInUse | FlagMetafile,
+			RootVVBN: block.VVBN(vvbn), RootVBN: block.VBN(vbn), Gen: gen,
+		}
+		buf := make([]byte, RecordSize)
+		EncodeRecord(buf, r)
+		return DecodeRecord(buf) == r
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordLocation(t *testing.T) {
+	fbn, off := RecordLocation(0)
+	if fbn != 0 || off != 0 {
+		t.Fatal("record 0 location")
+	}
+	fbn, off = RecordLocation(RecordsPerBlock + 3)
+	if fbn != 1 || off != 3*RecordSize {
+		t.Fatalf("location = (%d,%d)", fbn, off)
+	}
+}
+
+func TestFileFromRecordRoundTrip(t *testing.T) {
+	f := NewFile(9, 2)
+	f.WriteBlock(100, pattern(1))
+	f.Freeze()
+	f.CleanChildAll(t)
+	rec := f.RecordOf(0)
+	g := FileFromRecord(rec)
+	if g.Ino() != 9 || g.Height() != 2 || g.Size() != 101 || g.RootVVBN != f.RootVVBN || g.RootVBN != f.RootVBN {
+		t.Fatalf("rebuilt file mismatch: %+v vs %+v", g, f)
+	}
+}
+
+func TestInstallBufferSealsAndAliases(t *testing.T) {
+	f := NewFile(1, 1)
+	media := pattern(7)
+	b := f.InstallBuffer(0, 4, media, 50, 60)
+	if !bytes.Equal(f.ReadBlock(4), pattern(7)) {
+		t.Fatal("installed buffer unreadable")
+	}
+	if b.VVBN() != 50 || b.VBN() != 60 {
+		t.Fatal("installed location wrong")
+	}
+	// Writing must clone, preserving the media array.
+	f.WriteBlock(4, pattern(8))
+	if !bytes.Equal(media, pattern(7)) {
+		t.Fatal("write mutated media-owned array")
+	}
+}
+
+func TestWriteBeyondCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f := NewFile(1, 1)
+	f.WriteBlock(block.FBN(block.PtrsPerBlock), pattern(1))
+}
+
+func TestFrozenLevelSorted(t *testing.T) {
+	f := NewFile(1, 1)
+	for _, fbn := range []block.FBN{9, 3, 7, 1, 200} {
+		f.WriteBlock(fbn, pattern(byte(fbn)))
+	}
+	f.Freeze()
+	l0 := f.FrozenLevel(0)
+	for i := 1; i < len(l0); i++ {
+		if l0[i-1].FBN() >= l0[i].FBN() {
+			t.Fatal("FrozenLevel not sorted")
+		}
+	}
+}
+
+func TestPropertyFreezeCleanCycle(t *testing.T) {
+	// Property: across random write/freeze/clean cycles, every frozen
+	// buffer is cleaned exactly once per cycle and dirty counts stay
+	// consistent.
+	fn := func(writes []uint16) bool {
+		f := NewFile(1, 2)
+		seen := map[block.FBN]bool{}
+		for _, w := range writes {
+			fbn := block.FBN(w) % 1000
+			f.WriteBlock(fbn, pattern(byte(w)))
+			seen[fbn] = true
+		}
+		if f.DirtyCount() != len(seen) {
+			return false
+		}
+		n := f.Freeze()
+		if n != len(seen) {
+			return false
+		}
+		cleaned := 0
+		loc := uint64(10)
+		for level := 0; level <= f.Height(); level++ {
+			for _, b := range f.FrozenLevel(level) {
+				f.CleanChild(b, block.VVBN(loc), block.VBN(loc+1))
+				loc += 2
+				cleaned++
+			}
+		}
+		if f.FrozenCount() != 0 {
+			return false
+		}
+		if len(seen) > 0 && (f.RootVVBN == block.InvalidVVBN || cleaned <= len(seen)) {
+			// cleaning must also have written indirects + root
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

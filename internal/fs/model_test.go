@@ -1,0 +1,116 @@
+package fs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"wafl/internal/block"
+)
+
+// TestModelRandomOps drives a File through random interleavings of client
+// writes, CP freezes, mid-CP overwrites (CoW), and cleans, comparing its
+// observable content against a plain map reference model at every step.
+func TestModelRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		f := NewFile(1, 2)
+		model := make(map[block.FBN][]byte)
+		loc := uint64(100)
+		inCP := false
+
+		check := func(step int) {
+			for fbn, want := range model {
+				got := f.ReadBlock(fbn)
+				if got == nil || !bytes.Equal(got[:len(want)], want) {
+					t.Fatalf("seed %d step %d: fbn %d mismatch", seed, step, fbn)
+				}
+			}
+		}
+		cleanAll := func() {
+			for level := 0; level <= f.Height(); level++ {
+				for _, b := range f.FrozenLevel(level) {
+					f.CleanChild(b, block.VVBN(loc), block.VBN(loc+1))
+					loc += 2
+				}
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 7: // client write
+				fbn := block.FBN(rng.Intn(2000))
+				payload := make([]byte, 32)
+				rng.Read(payload)
+				f.WriteBlock(fbn, payload)
+				model[fbn] = payload
+			case op < 8: // freeze (start CP) if none running
+				if !inCP && f.DirtyCount() > 0 {
+					f.Freeze()
+					inCP = true
+				}
+			case op < 9: // partially clean the frozen set
+				if inCP {
+					for _, b := range f.FrozenLevel(0)[:min(3, len(f.FrozenLevel(0)))] {
+						f.CleanChild(b, block.VVBN(loc), block.VBN(loc+1))
+						loc += 2
+					}
+				}
+			default: // finish the CP
+				if inCP {
+					cleanAll()
+					inCP = false
+				}
+			}
+			check(step)
+		}
+		if inCP {
+			cleanAll()
+		}
+		check(-1)
+		if f.FrozenCount() != 0 {
+			t.Fatalf("seed %d: %d frozen left", seed, f.FrozenCount())
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestCleanLocationsNeverRepeatWithinCycle checks the allocator-facing
+// contract: across a freeze/clean cycle each buffer gets exactly one new
+// location and reports its previous one exactly once.
+func TestCleanLocationsNeverRepeatWithinCycle(t *testing.T) {
+	f := NewFile(1, 2)
+	prev := make(map[block.FBN]block.VBN)
+	loc := uint64(10)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 50; i++ {
+			f.WriteBlock(block.FBN(i*7%300), []byte{byte(round)})
+		}
+		f.Freeze()
+		seen := make(map[block.VBN]bool)
+		for level := 0; level <= f.Height(); level++ {
+			for _, b := range f.FrozenLevel(level) {
+				newVBN := block.VBN(loc)
+				loc++
+				oldVVBN, oldVBN := f.CleanChild(b, block.VVBN(loc)<<32, newVBN)
+				_ = oldVVBN
+				if seen[newVBN] {
+					t.Fatal("location assigned twice")
+				}
+				seen[newVBN] = true
+				if b.Level() == 0 {
+					if want, ok := prev[b.FBN()]; ok && oldVBN != want {
+						t.Fatalf("round %d fbn %d: freed %v, expected %v", round, b.FBN(), oldVBN, want)
+					}
+					prev[b.FBN()] = newVBN
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package fs
+
+import (
+	"encoding/binary"
+
+	"wafl/internal/block"
+)
+
+// RecordSize is the on-disk size of a serialized inode record.
+const RecordSize = 64
+
+// RecordsPerBlock is the number of inode records per inode-file block.
+const RecordsPerBlock = block.Size / RecordSize
+
+// Record is the persistent form of an inode: what the inode file stores.
+type Record struct {
+	Ino        uint64
+	SizeBlocks uint64
+	Height     uint32
+	Flags      uint32
+	RootVVBN   block.VVBN
+	RootVBN    block.VBN
+	Gen        uint64
+}
+
+// Record flags.
+const (
+	FlagInUse uint32 = 1 << iota
+	FlagMetafile
+)
+
+// EncodeRecord serializes r into dst (at least RecordSize bytes).
+func EncodeRecord(dst []byte, r Record) {
+	binary.LittleEndian.PutUint64(dst[0:], r.Ino)
+	binary.LittleEndian.PutUint64(dst[8:], r.SizeBlocks)
+	binary.LittleEndian.PutUint32(dst[16:], r.Height)
+	binary.LittleEndian.PutUint32(dst[20:], r.Flags)
+	binary.LittleEndian.PutUint64(dst[24:], uint64(r.RootVVBN))
+	binary.LittleEndian.PutUint64(dst[32:], uint64(r.RootVBN))
+	binary.LittleEndian.PutUint64(dst[40:], r.Gen)
+	for i := 48; i < RecordSize; i++ {
+		dst[i] = 0
+	}
+}
+
+// DecodeRecord deserializes a record from src.
+func DecodeRecord(src []byte) Record {
+	return Record{
+		Ino:        binary.LittleEndian.Uint64(src[0:]),
+		SizeBlocks: binary.LittleEndian.Uint64(src[8:]),
+		Height:     binary.LittleEndian.Uint32(src[16:]),
+		Flags:      binary.LittleEndian.Uint32(src[20:]),
+		RootVVBN:   block.VVBN(binary.LittleEndian.Uint64(src[24:])),
+		RootVBN:    block.VBN(binary.LittleEndian.Uint64(src[32:])),
+		Gen:        binary.LittleEndian.Uint64(src[40:]),
+	}
+}
+
+// RecordLocation returns the inode-file FBN and the byte offset within that
+// block where inode ino's record lives.
+func RecordLocation(ino uint64) (block.FBN, int) {
+	return block.FBN(ino / RecordsPerBlock), int(ino%RecordsPerBlock) * RecordSize
+}
+
+// RecordOf captures f's current persistent state as a record.
+func (f *File) RecordOf(flags uint32) Record {
+	return Record{
+		Ino:        f.ino,
+		SizeBlocks: uint64(f.size),
+		Height:     uint32(f.height),
+		Flags:      flags | FlagInUse,
+		RootVVBN:   f.RootVVBN,
+		RootVBN:    f.RootVBN,
+		Gen:        f.Gen,
+	}
+}
+
+// FileFromRecord reconstructs a file's skeleton from its record (mount
+// path); buffers are demand-loaded later.
+func FileFromRecord(r Record) *File {
+	f := NewFile(r.Ino, int(r.Height))
+	f.size = block.FBN(r.SizeBlocks)
+	f.RootVVBN = r.RootVVBN
+	f.RootVBN = r.RootVBN
+	f.Gen = r.Gen
+	return f
+}

@@ -1,0 +1,184 @@
+// Package nvlog implements the nonvolatile RAM operation log that lets WAFL
+// acknowledge client writes long before a consistency point persists them
+// (paper §II-C). The log is split into two halves: operations append to the
+// active half while a CP drains the frozen half; when the active half fills,
+// the halves switch and a new CP begins. If both halves are full the system
+// is in a back-to-back CP and incoming operations stall — which is exactly
+// how an undersized write allocator throttles client throughput.
+//
+// After a crash, the file system loads the last committed CP and replays
+// the log: the frozen half first (its CP did not complete), then the active
+// half.
+package nvlog
+
+import (
+	"wafl/internal/block"
+)
+
+// OpKind identifies a logged operation type.
+type OpKind uint8
+
+// Logged operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpCreate
+	OpDelete
+)
+
+// recordOverhead approximates the per-record NVRAM header cost in bytes.
+const recordOverhead = 32
+
+// Record is one logged client operation.
+type Record struct {
+	Kind OpKind
+	Vol  uint32
+	Ino  uint64
+	FBN  block.FBN
+	Data []byte // payload for OpWrite (owned by the log)
+	// LogicalBytes, when nonzero, is the NVRAM space the record occupies
+	// regardless of how much pattern data the simulation stores (payload
+	// compression is a simulation-speed knob, not a semantic one).
+	LogicalBytes uint32
+	MaxBlocks    uint64 // capacity hint for OpCreate
+	Seq          uint64 // global order, assigned by Append
+}
+
+// Size returns the NVRAM bytes this record occupies.
+func (r Record) Size() uint64 {
+	payload := uint64(len(r.Data))
+	if uint64(r.LogicalBytes) > payload {
+		payload = uint64(r.LogicalBytes)
+	}
+	return recordOverhead + payload
+}
+
+type half struct {
+	recs  []Record
+	bytes uint64
+}
+
+// Log is a two-half NVRAM operation log.
+type Log struct {
+	halfCap  uint64
+	halves   [2]half
+	active   int
+	frozen   int // -1 when no CP is draining
+	seq      uint64
+	reserved uint64 // space promised to in-flight ops (see Reserve)
+
+	// Stalls counts Append attempts rejected because the active half was
+	// full while the other half was still draining (back-to-back CP).
+	Stalls uint64
+}
+
+// New creates a log whose halves hold halfCap bytes each.
+func New(halfCap uint64) *Log {
+	return &Log{halfCap: halfCap, frozen: -1}
+}
+
+// Append logs r into the active half, assigning its sequence number. It
+// returns false — without logging — if the active half cannot hold r on
+// top of outstanding reservations (the caller should trigger/wait for a CP
+// and retry).
+func (l *Log) Append(r Record) bool {
+	h := &l.halves[l.active]
+	if h.bytes+l.reserved+r.Size() > l.halfCap {
+		l.Stalls++
+		return false
+	}
+	l.append(r)
+	return true
+}
+
+func (l *Log) append(r Record) {
+	h := &l.halves[l.active]
+	l.seq++
+	r.Seq = l.seq
+	h.recs = append(h.recs, r)
+	h.bytes += r.Size()
+}
+
+// Reserve sets aside n bytes of the active half for an in-flight operation,
+// so that the operation's later AppendReserved calls cannot fail. The
+// write path reserves in the (stallable) client context, then appends each
+// record *atomically adjacent* to dirtying its buffer inside the stripe
+// affinity — guaranteeing a record and its dirty buffer land on the same
+// side of any CP freeze. Returns false when the half cannot hold the
+// reservation yet.
+func (l *Log) Reserve(n uint64) bool {
+	if n > l.halfCap {
+		panic("nvlog: reservation exceeds half capacity")
+	}
+	if l.halves[l.active].bytes+l.reserved+n > l.halfCap {
+		l.Stalls++
+		return false
+	}
+	l.reserved += n
+	return true
+}
+
+// AppendReserved logs r against a prior reservation; it cannot fail. If a
+// half switch happened since Reserve, the record (and its reservation)
+// simply apply to the new active half — consistent with its buffer
+// dirtying, which also lands in the new CP generation.
+func (l *Log) AppendReserved(r Record) {
+	size := r.Size()
+	if size >= l.reserved {
+		l.reserved = 0
+	} else {
+		l.reserved -= size
+	}
+	l.append(r)
+}
+
+// ActiveBytes returns the bytes used in the active half.
+func (l *Log) ActiveBytes() uint64 { return l.halves[l.active].bytes }
+
+// ActiveOps returns the number of records in the active half.
+func (l *Log) ActiveOps() int { return len(l.halves[l.active].recs) }
+
+// Fullness returns the active half's fill fraction in [0,1].
+func (l *Log) Fullness() float64 {
+	return float64(l.halves[l.active].bytes) / float64(l.halfCap)
+}
+
+// HalfCap returns the capacity of each half in bytes.
+func (l *Log) HalfCap() uint64 { return l.halfCap }
+
+// HasFrozen reports whether a CP is currently draining a frozen half.
+func (l *Log) HasFrozen() bool { return l.frozen >= 0 }
+
+// Switch freezes the active half for a starting CP and opens the other
+// half for new appends. The other half must have been freed (no
+// overlapping CPs).
+func (l *Log) Switch() {
+	if l.frozen >= 0 {
+		panic("nvlog: Switch while a frozen half is still draining")
+	}
+	l.frozen = l.active
+	l.active = 1 - l.active
+	if l.halves[l.active].bytes != 0 {
+		panic("nvlog: switching into a non-empty half")
+	}
+}
+
+// FreeFrozen discards the frozen half after its CP commits.
+func (l *Log) FreeFrozen() {
+	if l.frozen < 0 {
+		panic("nvlog: FreeFrozen without a frozen half")
+	}
+	l.halves[l.frozen] = half{}
+	l.frozen = -1
+}
+
+// Replay returns every record that must be reapplied after a crash, in
+// order: the frozen half (whose CP never committed) first, then the active
+// half.
+func (l *Log) Replay() []Record {
+	var out []Record
+	if l.frozen >= 0 {
+		out = append(out, l.halves[l.frozen].recs...)
+	}
+	out = append(out, l.halves[l.active].recs...)
+	return out
+}

@@ -1,0 +1,185 @@
+package nvlog
+
+import (
+	"testing"
+)
+
+func rec(ino uint64, n int) Record {
+	return Record{Kind: OpWrite, Ino: ino, Data: make([]byte, n)}
+}
+
+func TestAppendAndFullness(t *testing.T) {
+	l := New(1000)
+	if !l.Append(rec(1, 100)) { // 132 bytes
+		t.Fatal("append failed")
+	}
+	if l.ActiveOps() != 1 || l.ActiveBytes() != 132 {
+		t.Fatalf("ops=%d bytes=%d", l.ActiveOps(), l.ActiveBytes())
+	}
+	if f := l.Fullness(); f < 0.13 || f > 0.14 {
+		t.Fatalf("fullness = %f", f)
+	}
+}
+
+func TestAppendRejectsWhenFull(t *testing.T) {
+	l := New(300)
+	if !l.Append(rec(1, 100)) || !l.Append(rec(2, 100)) {
+		t.Fatal("appends should fit")
+	}
+	if l.Append(rec(3, 100)) {
+		t.Fatal("third append must not fit (396+132 > 300... actually 264+132)")
+	}
+	if l.Stalls != 1 {
+		t.Fatalf("stalls = %d", l.Stalls)
+	}
+}
+
+func TestSequenceNumbersMonotone(t *testing.T) {
+	l := New(10000)
+	l.Append(rec(1, 0))
+	l.Append(rec(2, 0))
+	l.Switch()
+	l.Append(rec(3, 0))
+	rs := l.Replay()
+	if len(rs) != 3 {
+		t.Fatalf("replay %d records", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Seq <= rs[i-1].Seq {
+			t.Fatal("replay out of order")
+		}
+	}
+}
+
+func TestSwitchAndFreeCycle(t *testing.T) {
+	l := New(1000)
+	l.Append(rec(1, 100))
+	l.Switch()
+	if !l.HasFrozen() {
+		t.Fatal("no frozen half after switch")
+	}
+	if l.ActiveBytes() != 0 {
+		t.Fatal("active half should be empty after switch")
+	}
+	l.Append(rec(2, 100))
+	got := l.Replay()
+	if len(got) != 2 || got[0].Ino != 1 || got[1].Ino != 2 {
+		t.Fatalf("replay = %+v", got)
+	}
+	l.FreeFrozen()
+	if l.HasFrozen() {
+		t.Fatal("frozen half not freed")
+	}
+	got = l.Replay()
+	if len(got) != 1 || got[0].Ino != 2 {
+		t.Fatalf("replay after free = %+v", got)
+	}
+}
+
+func TestSwitchWhileDrainingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := New(1000)
+	l.Append(rec(1, 0))
+	l.Switch()
+	l.Switch()
+}
+
+func TestFreeWithoutFrozenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1000).FreeFrozen()
+}
+
+func TestBackToBackBehaviour(t *testing.T) {
+	// Fill active, switch, fill the new active: further appends stall
+	// until FreeFrozen + Switch.
+	l := New(200)
+	if !l.Append(rec(1, 100)) {
+		t.Fatal("first append")
+	}
+	l.Switch()
+	if !l.Append(rec(2, 100)) {
+		t.Fatal("second append")
+	}
+	if l.Append(rec(3, 100)) {
+		t.Fatal("must stall: both halves occupied")
+	}
+	l.FreeFrozen() // CP 1 done
+	l.Switch()     // CP 2 starts draining ino 2
+	if !l.Append(rec(3, 100)) {
+		t.Fatal("append after switch")
+	}
+}
+
+func TestReserveBlocksAppendCapacity(t *testing.T) {
+	l := New(1000)
+	if !l.Reserve(800) {
+		t.Fatal("reserve should fit")
+	}
+	// A plain Append must respect the reservation.
+	if l.Append(rec(1, 400)) {
+		t.Fatal("append must not overlap reserved space")
+	}
+	if l.Stalls != 1 {
+		t.Fatalf("stalls = %d", l.Stalls)
+	}
+	// Reserved appends always succeed and release the reservation.
+	l.AppendReserved(rec(2, 368)) // size 400
+	l.AppendReserved(rec(3, 368))
+	if l.ActiveOps() != 2 {
+		t.Fatalf("ops = %d", l.ActiveOps())
+	}
+	// Reservation fully consumed: normal appends work again.
+	if !l.Append(rec(4, 100)) {
+		t.Fatal("append should fit after reservation consumed")
+	}
+}
+
+func TestReserveRejectsWhenFull(t *testing.T) {
+	l := New(500)
+	if !l.Append(rec(1, 300)) { // 332 bytes
+		t.Fatal("append")
+	}
+	if l.Reserve(300) {
+		t.Fatal("reserve should fail when the half cannot hold it")
+	}
+	if !l.Reserve(100) {
+		t.Fatal("smaller reserve should fit")
+	}
+}
+
+func TestReservationSurvivesSwitch(t *testing.T) {
+	// A reservation made before a half switch applies to the new active
+	// half: the records land with the next CP generation, consistent with
+	// their buffers.
+	l := New(1000)
+	if !l.Reserve(400) {
+		t.Fatal("reserve")
+	}
+	l.Append(rec(1, 0))
+	l.Switch()
+	l.AppendReserved(rec(2, 368))
+	if l.ActiveOps() != 1 {
+		t.Fatalf("active ops = %d, want the reserved record in the new half", l.ActiveOps())
+	}
+	rs := l.Replay()
+	if len(rs) != 2 || rs[0].Ino != 1 || rs[1].Ino != 2 {
+		t.Fatalf("replay = %+v", rs)
+	}
+}
+
+func TestReserveOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(100).Reserve(200)
+}

@@ -1,0 +1,245 @@
+// Package raid implements RAID-4 style parity groups over simulated drives:
+// a set of data drives plus one parity drive, written in stripes. The write
+// allocator's first objective (paper §IV-D) — minimizing reads required for
+// RAID parity computation — is directly measurable here: a write covering
+// every data block of a stripe computes parity purely from new data (a
+// "full-stripe write"), while a partial-stripe write must first read the
+// missing blocks.
+package raid
+
+import (
+	"fmt"
+	"sort"
+
+	"wafl/internal/block"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+)
+
+// Stats holds cumulative parity statistics for a group.
+type Stats struct {
+	FullStripeWrites    uint64 // stripes whose parity needed no reads
+	PartialStripeWrites uint64 // stripes that required reconstruction reads
+	ParityReadBlocks    uint64 // data blocks read to compute parity
+	ParityBlocksWritten uint64
+	StripeWriteIOs      uint64 // multi-stripe write operations submitted
+}
+
+// Group is one RAID group: N data drives and one parity drive of equal
+// geometry. Block (d, dbn) on each data drive d shares the parity block at
+// dbn on the parity drive.
+type Group struct {
+	s      *sim.Scheduler
+	id     int
+	data   []*storage.Drive
+	parity *storage.Drive
+	depth  block.DBN // blocks per drive
+
+	stats Stats
+}
+
+// NewGroup builds a RAID group with ndata data drives and one parity drive,
+// each of depth blocks, using the given drive profile.
+func NewGroup(s *sim.Scheduler, id int, ndata int, depth block.DBN, profile storage.Profile) *Group {
+	g := &Group{s: s, id: id, depth: depth}
+	for i := 0; i < ndata; i++ {
+		g.data = append(g.data, storage.NewDrive(s, fmt.Sprintf("rg%d.d%d", id, i), profile, depth))
+	}
+	g.parity = storage.NewDrive(s, fmt.Sprintf("rg%d.parity", id), profile, depth)
+	return g
+}
+
+// Stats returns a snapshot of the group's parity statistics.
+func (g *Group) Stats() Stats { return g.stats }
+
+// ID returns the group's index within its aggregate.
+func (g *Group) ID() int { return g.id }
+
+// DataDrives returns the number of data drives in the group.
+func (g *Group) DataDrives() int { return len(g.data) }
+
+// Depth returns the number of blocks per drive (== number of stripes).
+func (g *Group) Depth() block.DBN { return g.depth }
+
+// Drive returns data drive i.
+func (g *Group) Drive(i int) *storage.Drive { return g.data[i] }
+
+// ParityDrive returns the group's parity drive.
+func (g *Group) ParityDrive() *storage.Drive { return g.parity }
+
+// WriteResult describes the parity work a stripe write required.
+type WriteResult struct {
+	FullStripes    int
+	PartialStripes int
+	ParityReads    int          // blocks read for reconstruction
+	ParityCPU      sim.Duration // XOR cost to charge to the simulated CPU
+}
+
+// Write submits a multi-stripe write: writes[i] is the set of single-block
+// writes destined for data drive i. Parity is computed per touched stripe —
+// from new data alone when the stripe is fully covered, otherwise after
+// reading the stripe's missing blocks — and written to the parity drive.
+// done (optional) fires in scheduler context when every drive I/O, parity
+// included, has completed. The returned WriteResult is populated
+// immediately with the parity work required; callers charge ParityCPU to
+// the simulated CPU.
+//
+// parityCPUPerBlock is the simulated CPU cost of XOR-ing one block; it comes
+// from the system cost model.
+func (g *Group) Write(writes [][]storage.WriteReq, parityCPUPerBlock sim.Duration, done func()) WriteResult {
+	var res WriteResult
+	if len(writes) != len(g.data) {
+		panic("raid: writes must have one slice per data drive")
+	}
+	g.stats.StripeWriteIOs++
+
+	// Index new data by stripe: stripe dbn -> drive index -> payload.
+	newData := make(map[block.DBN]map[int][]byte)
+	for di, reqs := range writes {
+		for _, r := range reqs {
+			m := newData[r.DBN]
+			if m == nil {
+				m = make(map[int][]byte)
+				newData[r.DBN] = m
+			}
+			m[di] = r.Data
+		}
+	}
+	if len(newData) == 0 {
+		if done != nil {
+			g.s.After(0, done)
+		}
+		return res
+	}
+
+	// Classify stripes and plan reconstruction reads for partial ones.
+	readPlan := make([][]block.DBN, len(g.data))
+	stripeList := make([]block.DBN, 0, len(newData))
+	for dbn, m := range newData {
+		stripeList = append(stripeList, dbn)
+		if len(m) == len(g.data) {
+			res.FullStripes++
+			continue
+		}
+		res.PartialStripes++
+		for di := range g.data {
+			if _, ok := m[di]; !ok {
+				readPlan[di] = append(readPlan[di], dbn)
+				res.ParityReads++
+			}
+		}
+	}
+	sort.Slice(stripeList, func(i, j int) bool { return stripeList[i] < stripeList[j] })
+	res.ParityCPU = sim.Duration(len(stripeList)*len(g.data)) * parityCPUPerBlock
+
+	g.stats.FullStripeWrites += uint64(res.FullStripes)
+	g.stats.PartialStripeWrites += uint64(res.PartialStripes)
+	g.stats.ParityReadBlocks += uint64(res.ParityReads)
+
+	// Phase A: issue reconstruction reads. When all complete, compute
+	// parity and issue the data + parity writes (phase B).
+	oldData := make(map[block.DBN]map[int][]byte)
+	pendingReads := 0
+	issueB := func() { g.issueWrites(writes, newData, oldData, stripeList, done) }
+	for di, dbns := range readPlan {
+		if len(dbns) == 0 {
+			continue
+		}
+		pendingReads++
+		di, dbns := di, dbns
+		g.data[di].Read(dbns, func(bs [][]byte) {
+			for k, dbn := range dbns {
+				m := oldData[dbn]
+				if m == nil {
+					m = make(map[int][]byte)
+					oldData[dbn] = m
+				}
+				m[di] = bs[k]
+			}
+			pendingReads--
+			if pendingReads == 0 {
+				issueB()
+			}
+		})
+	}
+	if pendingReads == 0 {
+		issueB()
+	}
+	return res
+}
+
+// issueWrites computes parity for each touched stripe and submits one I/O
+// per data drive plus one parity-drive I/O, invoking done when all complete.
+func (g *Group) issueWrites(writes [][]storage.WriteReq, newData, oldData map[block.DBN]map[int][]byte, stripeList []block.DBN, done func()) {
+	parityReqs := make([]storage.WriteReq, 0, len(stripeList))
+	for _, dbn := range stripeList {
+		parity := block.New()
+		for di := range g.data {
+			var src []byte
+			if b, ok := newData[dbn][di]; ok {
+				src = b
+			} else if b, ok := oldData[dbn][di]; ok && b != nil {
+				src = b
+			}
+			if src != nil {
+				block.XOR(parity, src)
+			}
+		}
+		parityReqs = append(parityReqs, storage.WriteReq{DBN: dbn, Data: parity})
+	}
+	g.stats.ParityBlocksWritten += uint64(len(parityReqs))
+
+	pending := 1 // parity I/O
+	for _, reqs := range writes {
+		if len(reqs) > 0 {
+			pending++
+		}
+	}
+	complete := func() {
+		pending--
+		if pending == 0 && done != nil {
+			done()
+		}
+	}
+	for di, reqs := range writes {
+		if len(reqs) > 0 {
+			g.data[di].Write(reqs, complete)
+		}
+	}
+	g.parity.Write(parityReqs, complete)
+}
+
+// VerifyStripe recomputes parity for stripe dbn from the committed media and
+// reports whether it matches the committed parity block. Tests and the
+// scrub tool use it to validate RAID consistency.
+func (g *Group) VerifyStripe(dbn block.DBN) bool {
+	want := block.New()
+	for _, d := range g.data {
+		if b := d.Peek(dbn); b != nil {
+			block.XOR(want, b)
+		}
+	}
+	got := g.parity.Peek(dbn)
+	if got == nil {
+		got = block.New()
+	}
+	return block.Checksum(want) == block.Checksum(got)
+}
+
+// ReconstructBlock rebuilds the committed content of (driveIdx, dbn) from
+// the other drives and parity, as a RAID recovery would.
+func (g *Group) ReconstructBlock(driveIdx int, dbn block.DBN) []byte {
+	out := block.New()
+	if p := g.parity.Peek(dbn); p != nil {
+		block.XOR(out, p)
+	}
+	for di, d := range g.data {
+		if di == driveIdx {
+			continue
+		}
+		if b := d.Peek(dbn); b != nil {
+			block.XOR(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package raid
+
+import (
+	"bytes"
+	"testing"
+
+	"wafl/internal/block"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+)
+
+func fill(tag byte) []byte {
+	b := block.New()
+	for i := range b {
+		b[i] = tag
+	}
+	return b
+}
+
+func newTestGroup(cores int) (*sim.Scheduler, *Group) {
+	s := sim.New(cores, 1)
+	g := NewGroup(s, 0, 4, 1024, storage.SSD)
+	return s, g
+}
+
+func TestFullStripeWriteNoReads(t *testing.T) {
+	s, g := newTestGroup(2)
+	writes := make([][]storage.WriteReq, 4)
+	for di := 0; di < 4; di++ {
+		writes[di] = []storage.WriteReq{{DBN: 10, Data: fill(byte(di + 1))}}
+	}
+	doneAt := sim.Time(-1)
+	res := g.Write(writes, sim.Microsecond, func() { doneAt = s.Now() })
+	if res.FullStripes != 1 || res.PartialStripes != 0 || res.ParityReads != 0 {
+		t.Fatalf("res = %+v, want 1 full stripe, no reads", res)
+	}
+	s.Run(sim.Time(sim.Second))
+	if doneAt < 0 {
+		t.Fatal("write never completed")
+	}
+	if !g.VerifyStripe(10) {
+		t.Fatal("parity mismatch after full-stripe write")
+	}
+	st := g.Stats()
+	if st.FullStripeWrites != 1 || st.ParityReadBlocks != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPartialStripeWriteReadsMissing(t *testing.T) {
+	s, g := newTestGroup(2)
+	// Pre-populate drives 2,3 at stripe 5 with committed data.
+	pre := make([][]storage.WriteReq, 4)
+	pre[2] = []storage.WriteReq{{DBN: 5, Data: fill(0xC2)}}
+	pre[3] = []storage.WriteReq{{DBN: 5, Data: fill(0xC3)}}
+	g.Write(pre, 0, nil)
+	s.Run(sim.Time(100 * sim.Millisecond))
+
+	// Now write only drives 0,1 at stripe 5: a partial stripe that must
+	// read drives 2,3.
+	writes := make([][]storage.WriteReq, 4)
+	writes[0] = []storage.WriteReq{{DBN: 5, Data: fill(1)}}
+	writes[1] = []storage.WriteReq{{DBN: 5, Data: fill(2)}}
+	done := false
+	res := g.Write(writes, sim.Microsecond, func() { done = true })
+	if res.PartialStripes != 1 || res.ParityReads != 2 {
+		t.Fatalf("res = %+v, want 1 partial stripe with 2 reads", res)
+	}
+	s.Run(sim.Time(sim.Second))
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if !g.VerifyStripe(5) {
+		t.Fatal("parity mismatch after partial-stripe write")
+	}
+}
+
+func TestParityCoversOldData(t *testing.T) {
+	// After a partial overwrite, reconstruction of an untouched drive must
+	// return its old content.
+	s, g := newTestGroup(2)
+	pre := make([][]storage.WriteReq, 4)
+	for di := 0; di < 4; di++ {
+		pre[di] = []storage.WriteReq{{DBN: 7, Data: fill(byte(0x10 + di))}}
+	}
+	g.Write(pre, 0, nil)
+	s.Run(sim.Time(100 * sim.Millisecond))
+
+	upd := make([][]storage.WriteReq, 4)
+	upd[0] = []storage.WriteReq{{DBN: 7, Data: fill(0xEE)}}
+	g.Write(upd, 0, nil)
+	s.Run(sim.Time(sim.Second))
+
+	if !g.VerifyStripe(7) {
+		t.Fatal("parity mismatch after partial overwrite")
+	}
+	rec := g.ReconstructBlock(2, 7)
+	if !bytes.Equal(rec, fill(0x12)) {
+		t.Fatal("reconstruction of untouched drive returned wrong data")
+	}
+	rec0 := g.ReconstructBlock(0, 7)
+	if !bytes.Equal(rec0, fill(0xEE)) {
+		t.Fatal("reconstruction of overwritten drive returned stale data")
+	}
+}
+
+func TestMultiStripeMixedWrite(t *testing.T) {
+	s, g := newTestGroup(4)
+	writes := make([][]storage.WriteReq, 4)
+	// Stripes 20..23 fully covered; stripe 24 only half covered.
+	for di := 0; di < 4; di++ {
+		for dbn := block.DBN(20); dbn < 24; dbn++ {
+			writes[di] = append(writes[di], storage.WriteReq{DBN: dbn, Data: fill(byte(di)*16 + byte(dbn))})
+		}
+	}
+	writes[0] = append(writes[0], storage.WriteReq{DBN: 24, Data: fill(0xA0)})
+	writes[1] = append(writes[1], storage.WriteReq{DBN: 24, Data: fill(0xA1)})
+	res := g.Write(writes, sim.Microsecond, nil)
+	if res.FullStripes != 4 || res.PartialStripes != 1 || res.ParityReads != 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.ParityCPU != sim.Duration(5*4)*sim.Microsecond {
+		t.Fatalf("parity CPU = %v", res.ParityCPU)
+	}
+	s.Run(sim.Time(sim.Second))
+	for dbn := block.DBN(20); dbn <= 24; dbn++ {
+		if !g.VerifyStripe(dbn) {
+			t.Fatalf("parity mismatch at stripe %d", dbn)
+		}
+	}
+}
+
+func TestEmptyWriteCompletes(t *testing.T) {
+	s, g := newTestGroup(1)
+	done := false
+	g.Write(make([][]storage.WriteReq, 4), 0, func() { done = true })
+	s.Run(sim.Time(sim.Second))
+	if !done {
+		t.Fatal("empty write should complete")
+	}
+}
+
+func TestVerifyStripeOnEmptyGroup(t *testing.T) {
+	_, g := newTestGroup(1)
+	if !g.VerifyStripe(0) {
+		t.Fatal("all-zero stripe should verify (zero parity)")
+	}
+}
+
+func TestWrongWriteShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, g := newTestGroup(1)
+	g.Write(make([][]storage.WriteReq, 3), 0, nil)
+}

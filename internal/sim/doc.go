@@ -1,0 +1,23 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// used to model a many-core storage server on an arbitrary host.
+//
+// The kernel provides simulated time, a fixed number of simulated CPU cores,
+// and simulated threads. Each simulated thread is backed by a goroutine, but
+// at most one goroutine (the scheduler or exactly one thread) executes at any
+// real instant: control is passed with a token handshake, so all simulation
+// state is data-race free by construction and runs, deterministically, even
+// with GOMAXPROCS=1.
+//
+// Threads interact with the kernel through blocking primitives:
+//
+//   - Consume / ConsumeAs: occupy a simulated core for a CPU burst, queueing
+//     behind other runnable threads when all cores are busy.
+//   - Sleep: advance simulated time without occupying a core (I/O, timers).
+//   - Mutex: a simulated lock with FIFO waiters and contention accounting.
+//   - WaitQueue: a condition-variable-like queue for building channels,
+//     message queues, and caches.
+//
+// CPU time is attributed to named categories (client, cleaner, infrastructure,
+// ...) so experiments can report per-component core usage exactly like the
+// paper's instrumented kernel does.
+package sim

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestShutdownTerminatesThreads(t *testing.T) {
+	s := New(2, 1)
+	for i := 0; i < 5; i++ {
+		s.Go("looper", CatOther, func(th *Thread) {
+			for {
+				th.Consume(10 * Microsecond)
+				th.Sleep(10 * Microsecond)
+			}
+		})
+	}
+	s.Run(Time(Millisecond))
+	if s.Live() != 5 {
+		t.Fatalf("live = %d", s.Live())
+	}
+	s.Shutdown()
+	if s.Live() != 0 {
+		t.Fatalf("live after shutdown = %d", s.Live())
+	}
+	s.Shutdown() // idempotent
+}
+
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for k := 0; k < 10; k++ {
+		s := New(2, 1)
+		m := NewMutex(s, "m")
+		q := NewWaitQueue(s, "q")
+		for i := 0; i < 20; i++ {
+			i := i
+			s.Go("w", CatOther, func(th *Thread) {
+				for {
+					th.Consume(Microsecond)
+					if i%3 == 0 {
+						q.Wait(th) // blocks forever
+					}
+					m.Lock(th)
+					th.Consume(Microsecond)
+					m.Unlock(th)
+				}
+			})
+		}
+		s.Run(Time(100 * Microsecond))
+		s.Shutdown()
+	}
+	// Give exited goroutines a moment to be reaped.
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+5 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestKillFromTerminatesOnlyNewThreads(t *testing.T) {
+	s := New(2, 1)
+	oldAlive := true
+	s.Go("old", CatOther, func(th *Thread) {
+		for oldAlive {
+			th.Sleep(10 * Microsecond)
+		}
+	})
+	mark := s.ThreadMark()
+	newRan := 0
+	for i := 0; i < 3; i++ {
+		s.Go("new", CatOther, func(th *Thread) {
+			for {
+				newRan++
+				th.Sleep(10 * Microsecond)
+			}
+		})
+	}
+	s.Run(Time(Millisecond))
+	ranBefore := newRan
+	if ranBefore == 0 {
+		t.Fatal("new threads never ran")
+	}
+	s.KillFrom(mark)
+	if s.Live() != 1 {
+		t.Fatalf("live = %d, want only the old thread", s.Live())
+	}
+	s.Run(Time(2 * Millisecond))
+	if newRan != ranBefore {
+		t.Fatal("killed threads kept running")
+	}
+	oldAlive = false
+	s.Run(Time(3 * Millisecond))
+	if s.Live() != 0 {
+		t.Fatalf("old thread did not exit cleanly: live=%d", s.Live())
+	}
+}
+
+func TestKillFromWhileThreadInReadyQueue(t *testing.T) {
+	// One core, several CPU-hungry threads: some sit in the ready queue.
+	s := New(1, 1)
+	mark := s.ThreadMark()
+	for i := 0; i < 4; i++ {
+		s.Go("hog", CatOther, func(th *Thread) {
+			for {
+				th.Consume(100 * Microsecond)
+			}
+		})
+	}
+	// Stop mid-burst: some threads are running, some queued.
+	s.Run(Time(150 * Microsecond))
+	s.KillFrom(mark)
+	if s.Live() != 0 {
+		t.Fatalf("live = %d after KillFrom", s.Live())
+	}
+	// The scheduler must still work for new threads.
+	done := false
+	s.Go("fresh", CatOther, func(th *Thread) {
+		th.Consume(10 * Microsecond)
+		done = true
+	})
+	s.Run(Time(Second))
+	if !done {
+		t.Fatal("scheduler unusable after KillFrom")
+	}
+}
+
+func TestKilledThreadStaleEventsAreNoOps(t *testing.T) {
+	s := New(1, 1)
+	mark := s.ThreadMark()
+	s.Go("sleeper", CatOther, func(th *Thread) {
+		th.Sleep(500 * Microsecond) // wakeup event remains in the heap
+	})
+	s.Run(Time(100 * Microsecond))
+	s.KillFrom(mark)
+	// Run past the stale wakeup: must not hang or panic.
+	s.Run(Time(2 * Millisecond))
+	if s.Live() != 0 {
+		t.Fatalf("live = %d", s.Live())
+	}
+}

@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * 1000
+	Second      Duration = 1000 * 1000 * 1000
+)
+
+// Seconds returns the duration as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis returns the duration as floating-point milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Micros returns the duration as floating-point microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// event is a scheduled closure. Events with equal timestamps fire in
+// insertion (seq) order, which keeps the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a binary min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// Scheduler is the discrete-event simulation kernel: an event queue, a model
+// of N CPU cores, and the set of simulated threads multiplexed onto them.
+//
+// The zero value is not usable; construct with New. A Scheduler is not safe
+// for concurrent use from multiple goroutines; all access must come either
+// from outside Run (setup/teardown) or from simulated threads, which the
+// kernel serializes.
+type Scheduler struct {
+	now  Time
+	seq  uint64
+	heap eventHeap
+
+	cores     int
+	freeCores int
+	readyQ    []*Thread // threads with a pending CPU burst, FIFO
+
+	busy       [NumCategories]Duration
+	dispatched uint64 // events processed
+
+	yield    chan struct{} // threads hand the execution token back here
+	rng      *rand.Rand
+	running  bool
+	live     int       // live (not yet finished) threads
+	threads  []*Thread // every thread ever spawned (for Shutdown)
+	poisoned bool      // Shutdown in progress: resumed threads unwind
+}
+
+// Shutdown terminates every simulated thread so the scheduler and all state
+// reachable from thread goroutines become garbage-collectable. The
+// scheduler is unusable afterwards. Must not be called while Run is active.
+func (s *Scheduler) Shutdown() {
+	if s.running {
+		panic("sim: Shutdown during Run")
+	}
+	if s.poisoned {
+		return
+	}
+	s.poisoned = true
+	for _, t := range s.threads {
+		if !t.done {
+			s.runThread(t)
+		}
+	}
+	s.threads = nil
+	s.heap = nil
+}
+
+// ThreadMark returns a marker identifying the threads spawned so far; a
+// later KillFrom(mark) terminates exactly the threads spawned after it.
+func (s *Scheduler) ThreadMark() int { return len(s.threads) }
+
+// KillFrom terminates every thread spawned at or after the given mark — the
+// crash model for one subsystem sharing the scheduler with its recovered
+// successor: the old system's threads must stop executing (a real crash
+// destroys them), while the scheduler lives on for the new instance. Must
+// not be called while Run is active.
+func (s *Scheduler) KillFrom(mark int) {
+	if s.running {
+		panic("sim: KillFrom during Run")
+	}
+	for _, t := range s.threads[mark:] {
+		t.killed = true
+	}
+	// Purge killed threads waiting for a CPU: they must never take a core.
+	live := s.readyQ[:0]
+	for _, t := range s.readyQ {
+		if !t.killed {
+			live = append(live, t)
+		}
+	}
+	s.readyQ = live
+	for _, t := range s.threads[mark:] {
+		if !t.done {
+			s.runThread(t)
+		}
+	}
+}
+
+// New returns a Scheduler modelling the given number of CPU cores, with all
+// simulation randomness derived from seed.
+func New(cores int, seed int64) *Scheduler {
+	if cores < 1 {
+		panic("sim: scheduler needs at least one core")
+	}
+	return &Scheduler{
+		cores:     cores,
+		freeCores: cores,
+		yield:     make(chan struct{}),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Cores returns the number of simulated CPU cores.
+func (s *Scheduler) Cores() int { return s.cores }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Live returns the number of simulated threads that have been spawned and
+// have not yet returned.
+func (s *Scheduler) Live() int { return s.live }
+
+// Events returns the number of events processed so far (a cheap progress and
+// determinism fingerprint).
+func (s *Scheduler) Events() uint64 { return s.dispatched }
+
+// CPU returns a snapshot of cumulative per-category busy time.
+func (s *Scheduler) CPU() CPUStats {
+	return CPUStats{Busy: s.busy, Wall: s.now}
+}
+
+// post schedules fn to run at time at (>= now).
+func (s *Scheduler) post(at Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.heap.push(&event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run in the scheduler context after d simulated time.
+// fn must not block; it may signal WaitQueues, post further events, and
+// mutate simulation state. Use it for I/O completions and periodic ticks.
+func (s *Scheduler) After(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.post(s.now+Time(d), fn)
+}
+
+// Run processes events until the simulated clock reaches until, then advances
+// the clock to exactly until and returns. Threads blocked at that point stay
+// blocked; a subsequent Run continues the simulation.
+func (s *Scheduler) Run(until Time) {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.heap) > 0 && s.heap[0].at <= until {
+		e := s.heap.pop()
+		s.now = e.at
+		s.dispatched++
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunFor runs the simulation for d more simulated time.
+func (s *Scheduler) RunFor(d Duration) { s.Run(s.now + Time(d)) }
+
+// Drain processes events until the event queue is empty or the simulated
+// clock would exceed limit. It returns the number of events processed.
+// Useful in tests to let in-flight work settle.
+func (s *Scheduler) Drain(limit Time) int {
+	n := 0
+	if s.running {
+		panic("sim: Drain called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.heap) > 0 && s.heap[0].at <= limit {
+		e := s.heap.pop()
+		s.now = e.at
+		s.dispatched++
+		n++
+		e.fn()
+	}
+	return n
+}
+
+// runThread hands the execution token to t and waits until t parks or
+// exits. Resuming a finished thread (e.g. a stale burst-completion event
+// for a killed thread) is a no-op.
+func (s *Scheduler) runThread(t *Thread) {
+	if t.done {
+		return
+	}
+	t.resume <- struct{}{}
+	<-s.yield
+}
+
+// startBurst begins t's pending CPU burst now; completion is an event.
+func (s *Scheduler) startBurst(t *Thread) {
+	t.burstStart = s.now
+	s.post(s.now+Time(t.burstDur), func() { s.finishBurst(t) })
+}
+
+// finishBurst accounts t's completed burst, starts the next queued burst if
+// any, and resumes t.
+func (s *Scheduler) finishBurst(t *Thread) {
+	s.freeCores++
+	s.busy[t.burstCat] += t.burstDur
+	t.busy += t.burstDur
+	if len(s.readyQ) > 0 {
+		next := s.readyQ[0]
+		copy(s.readyQ, s.readyQ[1:])
+		s.readyQ = s.readyQ[:len(s.readyQ)-1]
+		s.freeCores--
+		s.startBurst(next)
+	}
+	s.runThread(t)
+}

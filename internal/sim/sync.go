@@ -1,0 +1,125 @@
+package sim
+
+// Mutex is a simulated lock with FIFO waiters. Because the kernel serializes
+// all simulated execution, Mutex exists to model blocking and contention —
+// and to measure them — rather than to provide memory safety.
+type Mutex struct {
+	s       *Scheduler
+	name    string
+	holder  *Thread
+	waiters []*Thread
+
+	// contention statistics
+	Acquisitions uint64   // total successful Lock calls
+	Contended    uint64   // Lock calls that had to wait
+	WaitTime     Duration // total simulated time spent waiting
+}
+
+// NewMutex returns a simulated mutex. name is used in diagnostics.
+func NewMutex(s *Scheduler, name string) *Mutex {
+	return &Mutex{s: s, name: name}
+}
+
+// Lock acquires the mutex, blocking t FIFO behind current waiters if it is
+// held. Lock costs no CPU by itself; callers model critical-section and
+// lock-operation CPU with Consume.
+func (m *Mutex) Lock(t *Thread) {
+	m.Acquisitions++
+	if m.holder == nil {
+		m.holder = t
+		return
+	}
+	m.Contended++
+	start := m.s.now
+	m.waiters = append(m.waiters, t)
+	t.park()
+	// Ownership was transferred to us by Unlock before we were resumed.
+	m.WaitTime += Duration(m.s.now - start)
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *Mutex) TryLock(t *Thread) bool {
+	if m.holder != nil {
+		return false
+	}
+	m.Acquisitions++
+	m.holder = t
+	return true
+}
+
+// Unlock releases the mutex, handing it directly to the oldest waiter if any.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.holder != t {
+		panic("sim: Unlock of mutex " + m.name + " by non-holder")
+	}
+	if len(m.waiters) == 0 {
+		m.holder = nil
+		return
+	}
+	next := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.holder = next
+	m.s.post(m.s.now, func() { m.s.runThread(next) })
+}
+
+// Held reports whether the mutex is currently held (by any thread).
+func (m *Mutex) Held() bool { return m.holder != nil }
+
+// WaitQueue is a condition-variable-like parking lot for simulated threads.
+type WaitQueue struct {
+	s       *Scheduler
+	name    string
+	waiters []*Thread
+
+	Waits   uint64 // total Wait calls
+	Signals uint64 // total Signal/Broadcast wakeups delivered
+}
+
+// NewWaitQueue returns a WaitQueue. name is used in diagnostics.
+func NewWaitQueue(s *Scheduler, name string) *WaitQueue {
+	return &WaitQueue{s: s, name: name}
+}
+
+// Wait parks t on the queue until a Signal or Broadcast wakes it.
+func (q *WaitQueue) Wait(t *Thread) {
+	q.Waits++
+	q.waiters = append(q.waiters, t)
+	t.park()
+}
+
+// WaitWith atomically releases m, parks t, and re-acquires m before
+// returning — condition-variable semantics.
+func (q *WaitQueue) WaitWith(t *Thread, m *Mutex) {
+	m.Unlock(t)
+	q.Wait(t)
+	m.Lock(t)
+}
+
+// Signal wakes the oldest waiter, if any, and reports whether one was woken.
+func (q *WaitQueue) Signal() bool {
+	if len(q.waiters) == 0 {
+		return false
+	}
+	next := q.waiters[0]
+	copy(q.waiters, q.waiters[1:])
+	q.waiters = q.waiters[:len(q.waiters)-1]
+	q.Signals++
+	q.s.post(q.s.now, func() { q.s.runThread(next) })
+	return true
+}
+
+// Broadcast wakes all waiters and returns how many were woken.
+func (q *WaitQueue) Broadcast() int {
+	n := len(q.waiters)
+	for _, t := range q.waiters {
+		tt := t
+		q.Signals++
+		q.s.post(q.s.now, func() { q.s.runThread(tt) })
+	}
+	q.waiters = q.waiters[:0]
+	return n
+}
+
+// Len returns the number of parked threads.
+func (q *WaitQueue) Len() int { return len(q.waiters) }

@@ -1,0 +1,148 @@
+package sim
+
+// Thread is a simulated thread of execution. It is backed by a goroutine,
+// but the kernel guarantees at most one simulated thread executes at any
+// real instant, so thread bodies may freely read and write shared simulation
+// state without host-level synchronization.
+//
+// All Thread methods must be called from the thread's own body function.
+type Thread struct {
+	s    *Scheduler
+	name string
+	cat  Category // default CPU accounting category
+
+	resume chan struct{}
+
+	// pending CPU burst
+	burstCat   Category
+	burstDur   Duration
+	burstStart Time
+
+	busy   Duration // cumulative CPU consumed by this thread
+	done   bool
+	killed bool // KillFrom: unwind at next resume
+}
+
+// killSentinel is the panic value used to unwind poisoned threads during
+// Shutdown.
+type killSentinel struct{}
+
+// spawn builds a thread and its goroutine, scheduled to start at time at.
+func (s *Scheduler) spawn(at Time, name string, cat Category, fn func(*Thread)) *Thread {
+	t := &Thread{
+		s:      s,
+		name:   name,
+		cat:    cat,
+		resume: make(chan struct{}),
+	}
+	s.live++
+	s.threads = append(s.threads, t)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					// Real failure: crash loudly rather than hang the
+					// scheduler.
+					panic(r)
+				}
+			}
+			t.done = true
+			s.live--
+			s.yield <- struct{}{}
+		}()
+		<-t.resume
+		if s.poisoned || t.killed {
+			panic(killSentinel{})
+		}
+		fn(t)
+	}()
+	s.post(at, func() { s.runThread(t) })
+	return t
+}
+
+// Go spawns a new simulated thread that begins executing fn at the current
+// simulated time. cat is the default CPU accounting category for the
+// thread's Consume calls.
+func (s *Scheduler) Go(name string, cat Category, fn func(*Thread)) *Thread {
+	return s.spawn(s.now, name, cat, fn)
+}
+
+// GoAt is like Go but delays the thread's start until time at.
+func (s *Scheduler) GoAt(at Time, name string, cat Category, fn func(*Thread)) *Thread {
+	return s.spawn(at, name, cat, fn)
+}
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Sched returns the scheduler this thread runs on.
+func (t *Thread) Sched() *Scheduler { return t.s }
+
+// Now returns the current simulated time.
+func (t *Thread) Now() Time { return t.s.now }
+
+// Busy returns the cumulative CPU time this thread has consumed. The dynamic
+// cleaner-thread tuner uses deltas of this value to compute per-thread
+// utilization over its 50ms windows.
+func (t *Thread) Busy() Duration { return t.busy }
+
+// SetCat changes the thread's default accounting category and returns the
+// previous one. Waffinity workers use it so that each message's Consume
+// calls are attributed to the subsystem that sent the message.
+func (t *Thread) SetCat(cat Category) Category {
+	prev := t.cat
+	t.cat = cat
+	return prev
+}
+
+// park yields the execution token to the scheduler and blocks until
+// resumed. A resume after Shutdown unwinds the thread.
+func (t *Thread) park() {
+	t.s.yield <- struct{}{}
+	<-t.resume
+	if t.s.poisoned || t.killed {
+		panic(killSentinel{})
+	}
+}
+
+// Consume occupies a simulated core for d of CPU work, attributed to the
+// thread's default category. If all cores are busy the thread first waits,
+// FIFO, for a core.
+func (t *Thread) Consume(d Duration) { t.ConsumeAs(t.cat, d) }
+
+// ConsumeAs is Consume with an explicit accounting category. Waffinity
+// worker threads use it to attribute each message's cost to the subsystem
+// that sent the message.
+func (t *Thread) ConsumeAs(cat Category, d Duration) {
+	if d <= 0 {
+		return
+	}
+	s := t.s
+	t.burstCat = cat
+	t.burstDur = d
+	if s.freeCores > 0 {
+		s.freeCores--
+		s.startBurst(t)
+	} else {
+		s.readyQ = append(s.readyQ, t)
+	}
+	t.park()
+}
+
+// Sleep blocks the thread for d simulated time without occupying a core.
+func (t *Thread) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := t.s
+	s.post(s.now+Time(d), func() { s.runThread(t) })
+	t.park()
+}
+
+// Yield reschedules the thread behind any other events already queued at the
+// current simulated time.
+func (t *Thread) Yield() {
+	s := t.s
+	s.post(s.now, func() { s.runThread(t) })
+	t.park()
+}

@@ -1,0 +1,214 @@
+// Package storage simulates persistent drives: per-drive FCFS service
+// queues with configurable service-time profiles (SSD, SAS HDD, and the
+// hybrid Flash Pool models used by the paper's testbeds), plus the stable
+// block store that gives the simulated file system real crash semantics —
+// a block's content changes only when its write I/O completes.
+package storage
+
+import (
+	"fmt"
+
+	"wafl/internal/block"
+	"wafl/internal/sim"
+)
+
+// Profile describes a drive's service-time model. An I/O of n blocks
+// occupies the drive for PerIO + n*PerBlock of simulated time; I/Os on one
+// drive are serviced FCFS with no overlap, which models a single-spindle or
+// single-channel device. Enterprise arrays get their parallelism across
+// drives, which is exactly the behaviour the write allocator's
+// equal-progress objective (paper §IV-D, objective 3) exists to exploit.
+type Profile struct {
+	Name     string
+	PerIO    sim.Duration // fixed per-I/O overhead (seek/rotate or channel setup)
+	PerBlock sim.Duration // transfer time per 4 KiB block
+}
+
+// Canonical drive profiles used by the experiments.
+var (
+	// SSD models the all-SSD mid-range system of §V-A.
+	SSD = Profile{Name: "ssd", PerIO: 60 * sim.Microsecond, PerBlock: 2 * sim.Microsecond}
+	// HDD models the SAS drives of §V-C: scheduled, write-cached large
+	// writes, so the effective per-I/O overhead is well below a raw seek.
+	HDD = Profile{Name: "hdd", PerIO: 1200 * sim.Microsecond, PerBlock: 15 * sim.Microsecond}
+	// FlashPool models the hybrid SSD+HDD testbed of §V-B: HDD capacity
+	// behind an SSD write cache, giving sub-HDD effective write latency.
+	FlashPool = Profile{Name: "flashpool", PerIO: 500 * sim.Microsecond, PerBlock: 6 * sim.Microsecond}
+)
+
+// WriteReq is a single-block write within a multi-block drive I/O.
+type WriteReq struct {
+	DBN  block.DBN
+	Data []byte // must remain immutable once submitted (CoW guarantees this)
+}
+
+// Stats holds cumulative per-drive I/O statistics.
+type Stats struct {
+	ReadIOs       uint64
+	WriteIOs      uint64
+	BlocksRead    uint64
+	BlocksWritten uint64
+	BusyTime      sim.Duration // total time the drive was servicing I/O
+}
+
+// Drive is a simulated drive: an array of blocks plus a service queue.
+type Drive struct {
+	s       *sim.Scheduler
+	name    string
+	profile Profile
+	nblocks block.DBN
+
+	// media is the stable storage image; entries are nil until first
+	// written. Writes land at I/O completion time, never earlier, so a
+	// simulated crash (dropping all in-memory state and pending I/O)
+	// leaves exactly the committed image.
+	media [][]byte
+
+	busyUntil sim.Time
+	epoch     uint64 // bumped by DropInFlight; stale completions are discarded
+	stats     Stats
+}
+
+// NewDrive creates a drive of nblocks blocks with the given service profile.
+func NewDrive(s *sim.Scheduler, name string, profile Profile, nblocks block.DBN) *Drive {
+	return &Drive{
+		s:       s,
+		name:    name,
+		profile: profile,
+		nblocks: nblocks,
+		media:   make([][]byte, nblocks),
+	}
+}
+
+// Name returns the drive's debug name.
+func (d *Drive) Name() string { return d.name }
+
+// Blocks returns the drive capacity in blocks.
+func (d *Drive) Blocks() block.DBN { return d.nblocks }
+
+// Profile returns the drive's service-time profile.
+func (d *Drive) Profile() Profile { return d.profile }
+
+// Stats returns a snapshot of the drive's I/O statistics.
+func (d *Drive) Stats() Stats { return d.stats }
+
+// service reserves the drive for an I/O of n blocks and returns its
+// completion time.
+func (d *Drive) service(n int) sim.Time {
+	start := d.s.Now()
+	if d.busyUntil > start {
+		start = d.busyUntil
+	}
+	dur := d.profile.PerIO + sim.Duration(n)*d.profile.PerBlock
+	d.busyUntil = start + sim.Time(dur)
+	d.stats.BusyTime += dur
+	return d.busyUntil
+}
+
+// Write submits one write I/O covering reqs and calls done (in scheduler
+// context) when it completes. The data lands on the media at completion.
+func (d *Drive) Write(reqs []WriteReq, done func()) {
+	if len(reqs) == 0 {
+		if done != nil {
+			d.s.After(0, done)
+		}
+		return
+	}
+	for _, r := range reqs {
+		if r.DBN >= d.nblocks {
+			panic(fmt.Sprintf("storage: write beyond device %s: dbn %d >= %d", d.name, r.DBN, d.nblocks))
+		}
+	}
+	completion := d.service(len(reqs))
+	d.stats.WriteIOs++
+	d.stats.BlocksWritten += uint64(len(reqs))
+	// Capture the request slice; payloads are immutable by contract.
+	rs := append([]WriteReq(nil), reqs...)
+	epoch := d.epoch
+	d.s.After(sim.Duration(completion-d.s.Now()), func() {
+		if d.epoch != epoch {
+			return // lost to a crash before completing
+		}
+		for _, r := range rs {
+			d.media[r.DBN] = r.Data
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Read submits one read I/O for the given blocks and calls done with the
+// block contents when it completes. Missing (never-written) blocks read as
+// nil; callers treat nil as a zero block.
+func (d *Drive) Read(dbns []block.DBN, done func([][]byte)) {
+	if len(dbns) == 0 {
+		if done != nil {
+			d.s.After(0, func() { done(nil) })
+		}
+		return
+	}
+	completion := d.service(len(dbns))
+	d.stats.ReadIOs++
+	d.stats.BlocksRead += uint64(len(dbns))
+	ds := append([]block.DBN(nil), dbns...)
+	epoch := d.epoch
+	d.s.After(sim.Duration(completion-d.s.Now()), func() {
+		if d.epoch != epoch {
+			return
+		}
+		out := make([][]byte, len(ds))
+		for i, dbn := range ds {
+			out[i] = d.media[dbn]
+		}
+		if done != nil {
+			done(out)
+		}
+	})
+}
+
+// ReadSync performs a read I/O and blocks the calling simulated thread until
+// it completes.
+func (d *Drive) ReadSync(t *sim.Thread, dbns []block.DBN) [][]byte {
+	var result [][]byte
+	wq := sim.NewWaitQueue(d.s, d.name+".readsync")
+	donefired := false
+	d.Read(dbns, func(bs [][]byte) {
+		result = bs
+		donefired = true
+		wq.Signal()
+	})
+	if !donefired {
+		wq.Wait(t)
+	}
+	return result
+}
+
+// WriteSync performs a write I/O and blocks the calling simulated thread
+// until it completes.
+func (d *Drive) WriteSync(t *sim.Thread, reqs []WriteReq) {
+	wq := sim.NewWaitQueue(d.s, d.name+".writesync")
+	donefired := false
+	d.Write(reqs, func() {
+		donefired = true
+		wq.Signal()
+	})
+	if !donefired {
+		wq.Wait(t)
+	}
+}
+
+// Peek returns the committed media content of dbn without timing effects.
+// Recovery code uses it to model reading the stable image after a crash
+// (mount-time reads are not part of any measured experiment), and tests use
+// it to assert what actually reached persistent storage.
+func (d *Drive) Peek(dbn block.DBN) []byte { return d.media[dbn] }
+
+// DropInFlight models a power loss: every I/O submitted but not yet
+// completed is discarded — its data never lands on the media and its
+// completion callback never fires. The stable image remains exactly the set
+// of writes that had completed before the crash.
+func (d *Drive) DropInFlight() {
+	d.epoch++
+	d.busyUntil = d.s.Now()
+}

@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"wafl/internal/block"
+	"wafl/internal/sim"
+)
+
+func testBlock(tag byte) []byte {
+	b := block.New()
+	for i := range b {
+		b[i] = tag
+	}
+	return b
+}
+
+func TestWriteThenRead(t *testing.T) {
+	s := sim.New(2, 1)
+	d := NewDrive(s, "d0", SSD, 1024)
+	var got [][]byte
+	s.Go("io", sim.CatOther, func(th *sim.Thread) {
+		d.WriteSync(th, []WriteReq{{DBN: 5, Data: testBlock(0xAA)}, {DBN: 6, Data: testBlock(0xBB)}})
+		got = d.ReadSync(th, []block.DBN{5, 6, 7})
+	})
+	s.Run(sim.Time(sim.Second))
+	if len(got) != 3 {
+		t.Fatalf("got %d blocks", len(got))
+	}
+	if !bytes.Equal(got[0], testBlock(0xAA)) || !bytes.Equal(got[1], testBlock(0xBB)) {
+		t.Fatal("read data mismatch")
+	}
+	if got[2] != nil {
+		t.Fatal("never-written block should read nil")
+	}
+}
+
+func TestServiceTimeModel(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", Profile{Name: "p", PerIO: 100 * sim.Microsecond, PerBlock: 10 * sim.Microsecond}, 1024)
+	var end sim.Time
+	s.Go("io", sim.CatOther, func(th *sim.Thread) {
+		d.WriteSync(th, []WriteReq{{DBN: 1, Data: testBlock(1)}, {DBN: 2, Data: testBlock(2)}, {DBN: 3, Data: testBlock(3)}})
+		end = th.Now()
+	})
+	s.Run(sim.Time(sim.Second))
+	if end != sim.Time(130*sim.Microsecond) {
+		t.Fatalf("3-block write completed at %v, want 130us", end)
+	}
+}
+
+func TestFCFSQueueing(t *testing.T) {
+	// Two I/Os submitted back-to-back are serviced serially.
+	s := sim.New(4, 1)
+	d := NewDrive(s, "d0", Profile{Name: "p", PerIO: 100 * sim.Microsecond, PerBlock: 0}, 1024)
+	var ends []sim.Time
+	d.Write([]WriteReq{{DBN: 1, Data: testBlock(1)}}, func() { ends = append(ends, s.Now()) })
+	d.Write([]WriteReq{{DBN: 2, Data: testBlock(2)}}, func() { ends = append(ends, s.Now()) })
+	s.Run(sim.Time(sim.Second))
+	if len(ends) != 2 || ends[0] != sim.Time(100*sim.Microsecond) || ends[1] != sim.Time(200*sim.Microsecond) {
+		t.Fatalf("ends = %v, want [100us 200us]", ends)
+	}
+}
+
+func TestCrashDropsInFlightWrites(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", Profile{Name: "p", PerIO: 100 * sim.Microsecond, PerBlock: 0}, 1024)
+	committed := false
+	d.Write([]WriteReq{{DBN: 1, Data: testBlock(1)}}, func() { committed = true })
+	// Crash at 50us, before the 100us completion.
+	s.After(50*sim.Microsecond, func() { d.DropInFlight() })
+	s.Run(sim.Time(sim.Second))
+	if committed {
+		t.Fatal("in-flight write completed despite crash")
+	}
+	if d.Peek(1) != nil {
+		t.Fatal("in-flight write landed on media despite crash")
+	}
+}
+
+func TestCrashPreservesCompletedWrites(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", Profile{Name: "p", PerIO: 100 * sim.Microsecond, PerBlock: 0}, 1024)
+	d.Write([]WriteReq{{DBN: 1, Data: testBlock(7)}}, nil)
+	s.After(200*sim.Microsecond, func() { d.DropInFlight() })
+	s.Run(sim.Time(sim.Second))
+	if !bytes.Equal(d.Peek(1), testBlock(7)) {
+		t.Fatal("completed write lost by crash")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 1024)
+	s.Go("io", sim.CatOther, func(th *sim.Thread) {
+		d.WriteSync(th, []WriteReq{{DBN: 1, Data: testBlock(1)}, {DBN: 2, Data: testBlock(2)}})
+		d.ReadSync(th, []block.DBN{1})
+	})
+	s.Run(sim.Time(sim.Second))
+	st := d.Stats()
+	if st.WriteIOs != 1 || st.BlocksWritten != 2 || st.ReadIOs != 1 || st.BlocksRead != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusyTime == 0 {
+		t.Fatal("busy time not accounted")
+	}
+}
+
+func TestOutOfRangeWritePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range write")
+		}
+	}()
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 10)
+	d.Write([]WriteReq{{DBN: 10, Data: testBlock(1)}}, nil)
+}
+
+func TestEmptyIO(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 10)
+	called := false
+	d.Write(nil, func() { called = true })
+	s.Run(sim.Time(sim.Second))
+	if !called {
+		t.Fatal("empty write should still complete")
+	}
+	if st := d.Stats(); st.WriteIOs != 0 {
+		t.Fatal("empty write should not count as an I/O")
+	}
+}

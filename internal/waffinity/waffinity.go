@@ -1,0 +1,313 @@
+// Package waffinity implements the Hierarchical Waffinity message scheduler
+// described in §III of the paper (and Fig 1): file system work is expressed
+// as messages sent to affinities arranged in a tree, and the scheduler
+// guarantees that a message never runs concurrently with another message in
+// the same affinity, any ancestor affinity, or any descendant affinity.
+// Affinities that are neither ancestors nor descendants of one another run
+// in parallel on the worker pool.
+//
+// This data partitioning is what lets the file system avoid fine-grained
+// locking: two messages that could touch the same data are mapped to
+// affinities that exclude each other, while messages on disjoint data (other
+// volumes, other block ranges of a metafile, other file stripes) proceed
+// concurrently.
+//
+// Classical Waffinity (§III-B) is the degenerate hierarchy consisting of the
+// Serial affinity and a flat set of Stripe affinities; it can be built with
+// the same primitives (see NewClassicalHierarchy in hierarchy.go).
+package waffinity
+
+import (
+	"fmt"
+
+	"wafl/internal/sim"
+)
+
+// Kind classifies an affinity node, mirroring Fig 1 of the paper.
+type Kind int
+
+// Affinity kinds, from the root down.
+const (
+	KindSerial        Kind = iota // excludes everything
+	KindAggregate                 // per-aggregate work
+	KindAggrVBN                   // aggregate allocation-metafile work
+	KindVolume                    // per-FlexVol work
+	KindVolumeLogical             // client-facing logical file work
+	KindStripe                    // a stripe (block range) of user files
+	KindVolumeVBN                 // volume allocation-metafile work
+	KindRange                     // a block range of allocation metafiles
+)
+
+// String returns the affinity kind name as used in the paper.
+func (k Kind) String() string {
+	switch k {
+	case KindSerial:
+		return "Serial"
+	case KindAggregate:
+		return "Aggregate"
+	case KindAggrVBN:
+		return "AggrVBN"
+	case KindVolume:
+		return "Volume"
+	case KindVolumeLogical:
+		return "VolLogical"
+	case KindStripe:
+		return "Stripe"
+	case KindVolumeVBN:
+		return "VolVBN"
+	case KindRange:
+		return "Range"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Affinity is a node in the hierarchy: a serial execution context for
+// messages, excluded by its ancestors and descendants.
+type Affinity struct {
+	name     string
+	kind     Kind
+	parent   *Affinity
+	children []*Affinity
+	depth    int
+
+	running    bool // a message of this affinity is executing (or blocked)
+	descActive int  // number of active messages in strict descendants
+
+	pending []*message // FIFO queue of not-yet-dispatched messages
+
+	// cumulative statistics
+	Executed  uint64       // messages completed
+	QueueWait sim.Duration // total time messages waited for dispatch
+}
+
+// Name returns the affinity's debug name.
+func (a *Affinity) Name() string { return a.name }
+
+// Kind returns the affinity's kind.
+func (a *Affinity) Kind() Kind { return a.kind }
+
+// Parent returns the affinity's parent (nil for the Serial root).
+func (a *Affinity) Parent() *Affinity { return a.parent }
+
+// Children returns the affinity's children.
+func (a *Affinity) Children() []*Affinity { return a.children }
+
+// message is one unit of Waffinity work.
+type message struct {
+	aff      *Affinity
+	cat      sim.Category
+	fn       func(*sim.Thread)
+	enqueued sim.Time
+	done     func() // optional completion callback (scheduler context)
+}
+
+// Stats summarizes scheduler activity.
+type Stats struct {
+	Sent      uint64
+	Executed  uint64
+	MaxQueued int
+}
+
+// Scheduler dispatches affinity messages onto a pool of simulated worker
+// threads while enforcing hierarchical exclusion.
+type Scheduler struct {
+	s    *sim.Scheduler
+	root *Affinity
+
+	// affinities that currently have pending messages, in first-pending
+	// order; scanned for the dispatchable message with the oldest head.
+	pendingAffs []*Affinity
+
+	idle      *sim.WaitQueue
+	nworkers  int
+	stats     Stats
+	queued    int
+	dispatch  sim.Duration // per-message scheduler CPU overhead
+	announced bool
+}
+
+// New creates a Waffinity scheduler with the given worker-pool size and a
+// Serial root affinity. dispatchCost is the simulated CPU charged (to
+// CatWaffinity) for each message dispatch — the scheduler's own overhead.
+func New(s *sim.Scheduler, workers int, dispatchCost sim.Duration) *Scheduler {
+	ws := &Scheduler{
+		s:        s,
+		root:     &Affinity{name: "Serial", kind: KindSerial},
+		idle:     sim.NewWaitQueue(s, "waffinity.idle"),
+		nworkers: workers,
+		dispatch: dispatchCost,
+	}
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("waff-worker-%d", i)
+		s.Go(name, sim.CatWaffinity, func(t *sim.Thread) { ws.workerLoop(t) })
+	}
+	return ws
+}
+
+// Root returns the Serial affinity at the root of the hierarchy.
+func (w *Scheduler) Root() *Affinity { return w.root }
+
+// Stats returns scheduler statistics.
+func (w *Scheduler) Stats() Stats { return w.stats }
+
+// AddChild creates a new affinity under parent.
+func (w *Scheduler) AddChild(parent *Affinity, kind Kind, name string) *Affinity {
+	a := &Affinity{name: name, kind: kind, parent: parent, depth: parent.depth + 1}
+	parent.children = append(parent.children, a)
+	return a
+}
+
+// Send enqueues fn as a message in affinity aff. fn executes on a worker
+// thread with its CPU attributed to cat. done, if non-nil, fires in
+// scheduler context when the message completes.
+func (w *Scheduler) Send(aff *Affinity, cat sim.Category, fn func(*sim.Thread), done func()) {
+	m := &message{aff: aff, cat: cat, fn: fn, enqueued: w.s.Now(), done: done}
+	if len(aff.pending) == 0 {
+		w.pendingAffs = append(w.pendingAffs, aff)
+	}
+	aff.pending = append(aff.pending, m)
+	w.stats.Sent++
+	w.queued++
+	if w.queued > w.stats.MaxQueued {
+		w.stats.MaxQueued = w.queued
+	}
+	w.idle.Signal()
+}
+
+// Call sends fn to aff and blocks the calling simulated thread until the
+// message completes. t must not be a Waffinity worker (a worker waiting on
+// another message could deadlock the pool).
+func (w *Scheduler) Call(t *sim.Thread, aff *Affinity, cat sim.Category, fn func(*sim.Thread)) {
+	wq := sim.NewWaitQueue(w.s, "waffinity.call")
+	completed := false
+	w.Send(aff, cat, fn, func() {
+		completed = true
+		wq.Signal()
+	})
+	for !completed {
+		wq.Wait(t)
+	}
+}
+
+// canRun reports whether the head message of aff may start now: the
+// affinity itself, all ancestors, and all descendants must be inactive.
+// To guarantee progress for coarse affinities (e.g. Serial), a message also
+// yields to any ancestor whose own head message has been waiting longer —
+// otherwise a steady stream of Stripe messages would starve a pending
+// Serial message forever.
+func canRun(aff *Affinity) bool {
+	if aff.running || aff.descActive > 0 {
+		return false
+	}
+	var head sim.Time = -1
+	if len(aff.pending) > 0 {
+		head = aff.pending[0].enqueued
+	}
+	for anc := aff.parent; anc != nil; anc = anc.parent {
+		if anc.running {
+			return false
+		}
+		if len(anc.pending) > 0 && anc.pending[0].enqueued <= head {
+			return false
+		}
+	}
+	return true
+}
+
+// start marks aff active and propagates to ancestors.
+func start(aff *Affinity) {
+	aff.running = true
+	for anc := aff.parent; anc != nil; anc = anc.parent {
+		anc.descActive++
+	}
+}
+
+// finish marks aff inactive and propagates to ancestors.
+func finish(aff *Affinity) {
+	aff.running = false
+	for anc := aff.parent; anc != nil; anc = anc.parent {
+		anc.descActive--
+	}
+}
+
+// pickMessage removes and returns the dispatchable message whose head has
+// waited longest, or nil if nothing can run.
+func (w *Scheduler) pickMessage() *message {
+	bestIdx := -1
+	var best *message
+	for i, aff := range w.pendingAffs {
+		if len(aff.pending) == 0 {
+			continue
+		}
+		head := aff.pending[0]
+		if !canRun(aff) {
+			continue
+		}
+		if best == nil || head.enqueued < best.enqueued {
+			best, bestIdx = head, i
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	aff := w.pendingAffs[bestIdx]
+	aff.pending = aff.pending[1:]
+	if len(aff.pending) == 0 {
+		w.pendingAffs = append(w.pendingAffs[:bestIdx], w.pendingAffs[bestIdx+1:]...)
+	}
+	w.queued--
+	return best
+}
+
+// workerLoop is the body of each pool thread.
+func (w *Scheduler) workerLoop(t *sim.Thread) {
+	for {
+		m := w.pickMessage()
+		if m == nil {
+			w.idle.Wait(t)
+			continue
+		}
+		start(m.aff)
+		m.aff.QueueWait += sim.Duration(w.s.Now() - m.enqueued)
+		if w.dispatch > 0 {
+			t.ConsumeAs(sim.CatWaffinity, w.dispatch)
+		}
+		prev := t.SetCat(m.cat)
+		m.fn(t)
+		t.SetCat(prev)
+		finish(m.aff)
+		m.aff.Executed++
+		w.stats.Executed++
+		if m.done != nil {
+			m.done()
+		}
+		// Completing this message may have unblocked ancestors or
+		// descendants; wake idle workers to re-scan.
+		w.wakeIdle()
+	}
+}
+
+// wakeIdle wakes as many idle workers as there are queued messages (capped
+// at the number of idle workers).
+func (w *Scheduler) wakeIdle() {
+	n := w.queued
+	if n > w.idle.Len() {
+		n = w.idle.Len()
+	}
+	for i := 0; i < n; i++ {
+		w.idle.Signal()
+	}
+}
+
+// Walk visits every affinity in the hierarchy depth-first.
+func (w *Scheduler) Walk(visit func(*Affinity)) {
+	var rec func(*Affinity)
+	rec = func(a *Affinity) {
+		visit(a)
+		for _, c := range a.children {
+			rec(c)
+		}
+	}
+	rec(w.root)
+}

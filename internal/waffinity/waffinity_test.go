@@ -1,0 +1,463 @@
+package waffinity
+
+import (
+	"fmt"
+	"testing"
+
+	"wafl/internal/sim"
+)
+
+// testEnv builds a scheduler with the default hierarchy on n cores/workers.
+func testEnv(cores int) (*sim.Scheduler, *Scheduler, *Hierarchy) {
+	s := sim.New(cores, 1)
+	w := New(s, cores, 0)
+	h := NewHierarchy(w, HierarchyConfig{Aggregates: 1, VolumesPerAgg: 2, StripesPerVol: 4, RangesPerVBN: 4})
+	return s, w, h
+}
+
+// exclusionTracker records concurrently-active affinities and verifies that
+// no two active affinities are ever in an ancestor/descendant relation.
+type exclusionTracker struct {
+	t      *testing.T
+	active map[*Affinity]int
+}
+
+func newTracker(t *testing.T) *exclusionTracker {
+	return &exclusionTracker{t: t, active: make(map[*Affinity]int)}
+}
+
+func related(a, b *Affinity) bool {
+	for x := a; x != nil; x = x.parent {
+		if x == b {
+			return true
+		}
+	}
+	for x := b; x != nil; x = x.parent {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func (tr *exclusionTracker) enter(a *Affinity) {
+	for other := range tr.active {
+		if related(a, other) {
+			tr.t.Errorf("exclusion violated: %s running concurrently with %s", a.Name(), other.Name())
+		}
+	}
+	tr.active[a]++
+	if tr.active[a] > 1 {
+		tr.t.Errorf("affinity %s running two messages at once", a.Name())
+	}
+}
+
+func (tr *exclusionTracker) exit(a *Affinity) {
+	tr.active[a]--
+	if tr.active[a] == 0 {
+		delete(tr.active, a)
+	}
+}
+
+func TestSiblingsRunInParallel(t *testing.T) {
+	s, w, h := testEnv(4)
+	vol := h.Aggrs[0].Volumes[0]
+	var ends []sim.Time
+	for i := 0; i < 4; i++ {
+		aff := vol.Stripes[i]
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			th.Consume(100 * sim.Microsecond)
+		}, func() { ends = append(ends, s.Now()) })
+	}
+	s.Run(sim.Time(sim.Second))
+	if len(ends) != 4 {
+		t.Fatalf("completed %d messages", len(ends))
+	}
+	for _, e := range ends {
+		if e != sim.Time(100*sim.Microsecond) {
+			t.Fatalf("ends = %v; stripes should run fully parallel", ends)
+		}
+	}
+}
+
+func TestSameAffinitySerializes(t *testing.T) {
+	s, w, h := testEnv(4)
+	aff := h.Aggrs[0].Volumes[0].Stripes[0]
+	var ends []sim.Time
+	for i := 0; i < 3; i++ {
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			th.Consume(10 * sim.Microsecond)
+		}, func() { ends = append(ends, s.Now()) })
+	}
+	s.Run(sim.Time(sim.Second))
+	want := []sim.Time{sim.Time(10 * sim.Microsecond), sim.Time(20 * sim.Microsecond), sim.Time(30 * sim.Microsecond)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestParentExcludesChildren(t *testing.T) {
+	s, w, h := testEnv(4)
+	tr := newTracker(t)
+	vol := h.Aggrs[0].Volumes[0]
+	mk := func(aff *Affinity, d sim.Duration) {
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			tr.enter(aff)
+			th.Consume(d)
+			tr.exit(aff)
+		}, nil)
+	}
+	mk(vol.Logical, 50*sim.Microsecond)
+	for i := 0; i < 4; i++ {
+		mk(vol.Stripes[i], 20*sim.Microsecond)
+	}
+	mk(vol.Volume, 30*sim.Microsecond)
+	s.Run(sim.Time(sim.Second))
+	if got := w.Stats().Executed; got != 6 {
+		t.Fatalf("executed %d messages, want 6", got)
+	}
+}
+
+func TestCousinsRunInParallel(t *testing.T) {
+	// Volume Logical work and Volume VBN work within the SAME volume can
+	// run in parallel (paper §IV-B2, third mechanism); stripe work under
+	// logical runs in parallel with range work under VBN.
+	s, w, h := testEnv(4)
+	vol := h.Aggrs[0].Volumes[0]
+	var ends []sim.Time
+	send := func(aff *Affinity) {
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			th.Consume(100 * sim.Microsecond)
+		}, func() { ends = append(ends, s.Now()) })
+	}
+	send(vol.Stripes[0])
+	send(vol.Ranges[0])
+	send(vol.Ranges[1])
+	s.Run(sim.Time(sim.Second))
+	for _, e := range ends {
+		if e != sim.Time(100*sim.Microsecond) {
+			t.Fatalf("ends = %v; stripe and VBN ranges should overlap fully", ends)
+		}
+	}
+}
+
+func TestSerialExcludesEverything(t *testing.T) {
+	s, w, h := testEnv(8)
+	tr := newTracker(t)
+	inSerial := false
+	vol := h.Aggrs[0].Volumes[0]
+	for i := 0; i < 4; i++ {
+		aff := vol.Stripes[i%len(vol.Stripes)]
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			tr.enter(aff)
+			if inSerial {
+				t.Error("stripe message ran during serial message")
+			}
+			th.Consume(20 * sim.Microsecond)
+			tr.exit(aff)
+		}, nil)
+	}
+	w.Send(h.Serial, sim.CatOther, func(th *sim.Thread) {
+		tr.enter(h.Serial)
+		inSerial = true
+		th.Consume(50 * sim.Microsecond)
+		inSerial = false
+		tr.exit(h.Serial)
+	}, nil)
+	for i := 0; i < 4; i++ {
+		aff := h.Aggrs[0].Volumes[1].Stripes[i%4]
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			tr.enter(aff)
+			if inSerial {
+				t.Error("stripe message ran during serial message")
+			}
+			th.Consume(20 * sim.Microsecond)
+			tr.exit(aff)
+		}, nil)
+	}
+	s.Run(sim.Time(sim.Second))
+	if w.Stats().Executed != 9 {
+		t.Fatalf("executed %d, want 9", w.Stats().Executed)
+	}
+}
+
+func TestSerialMessageNotStarved(t *testing.T) {
+	// A continuous stream of stripe messages must not starve a pending
+	// Serial message.
+	s, w, h := testEnv(4)
+	vol := h.Aggrs[0].Volumes[0]
+	var serialDone sim.Time
+	stop := false
+	var pump func(i int)
+	pump = func(i int) {
+		if stop || i > 2000 {
+			return
+		}
+		w.Send(vol.Stripes[i%4], sim.CatClient, func(th *sim.Thread) {
+			th.Consume(10 * sim.Microsecond)
+		}, func() { pump(i + 1) })
+	}
+	for k := 0; k < 8; k++ {
+		pump(k)
+	}
+	s.After(100*sim.Microsecond, func() {
+		w.Send(h.Serial, sim.CatOther, func(th *sim.Thread) {
+			th.Consume(10 * sim.Microsecond)
+		}, func() {
+			serialDone = s.Now()
+			stop = true
+		})
+	})
+	s.Run(sim.Time(sim.Second))
+	if serialDone == 0 {
+		t.Fatal("serial message starved")
+	}
+	if serialDone > sim.Time(2*sim.Millisecond) {
+		t.Fatalf("serial message took until %v; anti-starvation too weak", serialDone)
+	}
+}
+
+func TestCallBlocksUntilDone(t *testing.T) {
+	s, w, h := testEnv(2)
+	var callerResumed, msgRan sim.Time
+	s.Go("caller", sim.CatOther, func(th *sim.Thread) {
+		w.Call(th, h.Aggrs[0].Volumes[0].Stripes[0], sim.CatClient, func(worker *sim.Thread) {
+			worker.Consume(40 * sim.Microsecond)
+			msgRan = s.Now()
+		})
+		callerResumed = s.Now()
+	})
+	s.Run(sim.Time(sim.Second))
+	if msgRan != sim.Time(40*sim.Microsecond) {
+		t.Fatalf("message ran at %v", msgRan)
+	}
+	if callerResumed < msgRan {
+		t.Fatalf("caller resumed at %v before message finished at %v", callerResumed, msgRan)
+	}
+}
+
+func TestExclusionPropertyRandomized(t *testing.T) {
+	// Fire a few hundred messages at random affinities and verify, via the
+	// tracker, that the exclusion invariant holds throughout.
+	s := sim.New(8, 99)
+	w := New(s, 8, sim.Microsecond)
+	NewHierarchy(w, HierarchyConfig{Aggregates: 2, VolumesPerAgg: 2, StripesPerVol: 4, RangesPerVBN: 4})
+	tr := newTracker(t)
+	var all []*Affinity
+	w.Walk(func(a *Affinity) { all = append(all, a) })
+	rng := s.Rand()
+	n := 400
+	for i := 0; i < n; i++ {
+		aff := all[rng.Intn(len(all))]
+		delay := sim.Duration(rng.Intn(3000)) * sim.Microsecond
+		dur := sim.Duration(rng.Intn(30)+1) * sim.Microsecond
+		s.After(delay, func() {
+			w.Send(aff, sim.CatOther, func(th *sim.Thread) {
+				tr.enter(aff)
+				th.Consume(dur)
+				tr.exit(aff)
+			}, nil)
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if got := w.Stats().Executed; got != uint64(n) {
+		t.Fatalf("executed %d, want %d", got, n)
+	}
+}
+
+func TestClassicalHierarchy(t *testing.T) {
+	s := sim.New(4, 1)
+	w := New(s, 4, 0)
+	h := NewClassicalHierarchy(w, 8)
+	if len(h.Aggrs[0].Volumes[0].Stripes) != 8 {
+		t.Fatal("classical hierarchy should have 8 stripes")
+	}
+	// Metafile work targets Serial (same node as Volume/VBN handles).
+	if h.Aggrs[0].AggrVBN != w.Root() {
+		t.Fatal("classical AggrVBN must alias Serial")
+	}
+	var ends []sim.Time
+	for i := 0; i < 4; i++ {
+		w.Send(h.Aggrs[0].Volumes[0].Stripes[i], sim.CatClient, func(th *sim.Thread) {
+			th.Consume(50 * sim.Microsecond)
+		}, func() { ends = append(ends, s.Now()) })
+	}
+	s.Run(sim.Time(sim.Second))
+	for _, e := range ends {
+		if e != sim.Time(50*sim.Microsecond) {
+			t.Fatalf("classical stripes should parallelize: %v", ends)
+		}
+	}
+}
+
+func TestHierarchyString(t *testing.T) {
+	_, _, h := testEnv(1)
+	out := h.String()
+	for _, want := range []string{"Serial", "aggr0 [Aggregate]", "aggr0.vbn [AggrVBN]", "aggr0.vol1.stripe3 [Stripe]"} {
+		if !contains(out, want) {
+			t.Fatalf("tree rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDispatchCostAccounted(t *testing.T) {
+	s := sim.New(2, 1)
+	w := New(s, 2, 5*sim.Microsecond)
+	hier := NewHierarchy(w, HierarchyConfig{Aggregates: 1, VolumesPerAgg: 1, StripesPerVol: 2, RangesPerVBN: 1})
+	for i := 0; i < 10; i++ {
+		w.Send(hier.Aggrs[0].Volumes[0].Stripes[i%2], sim.CatClient, func(th *sim.Thread) {
+			th.Consume(sim.Microsecond)
+		}, nil)
+	}
+	s.Run(sim.Time(sim.Second))
+	if got := s.CPU().Busy[sim.CatWaffinity]; got != 50*sim.Microsecond {
+		t.Fatalf("waffinity overhead = %v, want 50us", got)
+	}
+}
+
+func TestQueueWaitAccounting(t *testing.T) {
+	s, w, h := testEnv(1)
+	aff := h.Aggrs[0].Volumes[0].Stripes[0]
+	for i := 0; i < 3; i++ {
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) { th.Consume(10 * sim.Microsecond) }, nil)
+	}
+	s.Run(sim.Time(sim.Second))
+	// Waits: 0 + 10us + 20us = 30us.
+	if aff.QueueWait != 30*sim.Microsecond {
+		t.Fatalf("queue wait = %v, want 30us", aff.QueueWait)
+	}
+}
+
+func TestManyMessagesThroughput(t *testing.T) {
+	// Smoke test: thousands of messages across the whole tree complete.
+	s := sim.New(16, 3)
+	w := New(s, 16, 0)
+	NewHierarchy(w, DefaultHierarchy)
+	var affs []*Affinity
+	w.Walk(func(a *Affinity) {
+		if a.Kind() == KindStripe || a.Kind() == KindRange {
+			affs = append(affs, a)
+		}
+	})
+	total := 5000
+	for i := 0; i < total; i++ {
+		w.Send(affs[i%len(affs)], sim.CatClient, func(th *sim.Thread) {
+			th.Consume(2 * sim.Microsecond)
+		}, nil)
+	}
+	s.Run(sim.Time(sim.Second))
+	if got := int(w.Stats().Executed); got != total {
+		t.Fatalf("executed %d/%d", got, total)
+	}
+}
+
+func ExampleHierarchy_String() {
+	s := sim.New(1, 1)
+	w := New(s, 1, 0)
+	h := NewHierarchy(w, HierarchyConfig{Aggregates: 1, VolumesPerAgg: 1, StripesPerVol: 1, RangesPerVBN: 1})
+	fmt.Print(h.String())
+	// Output:
+	// Serial [Serial] executed=0
+	//   aggr0 [Aggregate] executed=0
+	//     aggr0.vbn [AggrVBN] executed=0
+	//       aggr0.vbn.range0 [Range] executed=0
+	//     aggr0.vol0 [Volume] executed=0
+	//       aggr0.vol0.logical [VolLogical] executed=0
+	//         aggr0.vol0.stripe0 [Stripe] executed=0
+	//       aggr0.vol0.vbn [VolVBN] executed=0
+	//         aggr0.vol0.vbn.range0 [Range] executed=0
+}
+
+func TestFIFOWithinAffinity(t *testing.T) {
+	// Messages to one affinity execute in send order even under a full
+	// worker pool.
+	s := sim.New(4, 1)
+	w := New(s, 4, 0)
+	h := NewHierarchy(w, HierarchyConfig{Aggregates: 1, VolumesPerAgg: 1, StripesPerVol: 2, RangesPerVBN: 1})
+	aff := h.Aggrs[0].Volumes[0].Stripes[0]
+	var order []int
+	for i := 0; i < 8; i++ {
+		i := i
+		w.Send(aff, sim.CatClient, func(th *sim.Thread) {
+			th.Consume(sim.Duration(8-i) * sim.Microsecond) // varying cost
+			order = append(order, i)
+		}, nil)
+	}
+	s.Run(sim.Time(sim.Second))
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestConcurrentCallers(t *testing.T) {
+	// Many client threads Call into disjoint affinities concurrently.
+	s := sim.New(8, 1)
+	w := New(s, 8, 0)
+	h := NewHierarchy(w, HierarchyConfig{Aggregates: 1, VolumesPerAgg: 2, StripesPerVol: 4, RangesPerVBN: 2})
+	done := 0
+	for i := 0; i < 16; i++ {
+		i := i
+		s.Go(fmt.Sprintf("caller-%d", i), sim.CatClient, func(th *sim.Thread) {
+			for k := 0; k < 10; k++ {
+				vol := h.Aggrs[0].Volumes[i%2]
+				w.Call(th, vol.Stripes[(i+k)%4], sim.CatClient, func(wt *sim.Thread) {
+					wt.Consume(3 * sim.Microsecond)
+				})
+			}
+			done++
+		})
+	}
+	s.Run(sim.Time(sim.Second))
+	if done != 16 {
+		t.Fatalf("only %d callers finished", done)
+	}
+	if w.Stats().Executed != 160 {
+		t.Fatalf("executed %d messages", w.Stats().Executed)
+	}
+}
+
+func TestRangeAffinityParallelismUnderVBN(t *testing.T) {
+	// Ranges under the same VolVBN parent run in parallel with each other
+	// but serialize against their parent.
+	s := sim.New(8, 1)
+	w := New(s, 8, 0)
+	h := NewHierarchy(w, HierarchyConfig{Aggregates: 1, VolumesPerAgg: 1, StripesPerVol: 1, RangesPerVBN: 4})
+	vol := h.Aggrs[0].Volumes[0]
+	var ends []sim.Time
+	for i := 0; i < 4; i++ {
+		w.Send(vol.Ranges[i], sim.CatInfra, func(th *sim.Thread) {
+			th.Consume(50 * sim.Microsecond)
+		}, func() { ends = append(ends, s.Now()) })
+	}
+	parentDone := sim.Time(-1)
+	w.Send(vol.VolVBN, sim.CatInfra, func(th *sim.Thread) {
+		th.Consume(10 * sim.Microsecond)
+	}, func() { parentDone = s.Now() })
+	s.Run(sim.Time(sim.Second))
+	// All four ranges must have run fully in parallel with each other
+	// (identical completion times), and the parent strictly before or
+	// strictly after the whole batch — never overlapped.
+	for _, e := range ends {
+		if e != ends[0] {
+			t.Fatalf("ranges did not run in parallel: %v", ends)
+		}
+	}
+	ranFirst := parentDone == sim.Time(10*sim.Microsecond) && ends[0] == sim.Time(60*sim.Microsecond)
+	ranLast := ends[0] == sim.Time(50*sim.Microsecond) && parentDone == sim.Time(60*sim.Microsecond)
+	if !ranFirst && !ranLast {
+		t.Fatalf("parent at %v, ranges at %v: exclusion shape wrong", parentDone, ends[0])
+	}
+}

@@ -1,0 +1,88 @@
+package wafl
+
+import (
+	"fmt"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/core"
+	"wafl/internal/cp"
+	"wafl/internal/nvlog"
+	"wafl/internal/waffinity"
+)
+
+// Crash models a power loss: every simulated thread belonging to this
+// System is destroyed (a CP caught mid-flight never finishes), every
+// in-flight drive I/O is dropped, and all volatile state (buffer caches,
+// dirty lists, allocator state) is abandoned. The System is unusable
+// afterwards; call Recover to mount a new System from the committed media
+// plus the (nonvolatile) operation log.
+func (sys *System) Crash() {
+	sys.stopped = true
+	if sys.tuner != nil {
+		sys.tuner.Stop()
+	}
+	sys.s.KillFrom(sys.threadMark)
+	sys.a.CrashAll()
+}
+
+// Recover mounts a fresh System from the crashed system's persistent
+// state: it loads the last committed consistency point from the drives and
+// replays the NVRAM log (frozen half first, then active), leaving the
+// replayed operations dirty in memory for the next CP — exactly the
+// paper's §II-C recovery contract. The recovered System runs on the same
+// simulated scheduler and drives.
+//
+// Mount-time and replay work is untimed: recovery latency is not part of
+// any measured experiment.
+func (sys *System) Recover() (*System, error) {
+	a, err := aggregate.MountFrom(sys.a)
+	if err != nil {
+		return nil, fmt.Errorf("wafl: recovery mount failed: %w", err)
+	}
+	cfg := sys.cfg
+	mark := sys.s.ThreadMark()
+	// Everything volatile is rebuilt from scratch — including the Waffinity
+	// scheduler and its worker threads (the crash destroyed the old ones).
+	w := waffinity.New(sys.s, cfg.Cores, cfg.Costs.MsgDispatch)
+	h := waffinity.NewHierarchy(w, waffinity.HierarchyConfig{
+		Aggregates:    1,
+		VolumesPerAgg: cfg.Volumes,
+		StripesPerVol: cfg.StripesPerVolume,
+		RangesPerVBN:  cfg.RangesPerVBN,
+	})
+	in := core.NewInfra(w, h, a, cfg.Allocator, cfg.Costs)
+	pool := core.NewPool(in, cfg.Allocator, cfg.Costs)
+	log := nvlog.New(cfg.NVRAMHalfBytes)
+	engine := cp.New(w, h, a, in, pool, log, cfg.Costs)
+	ns := &System{cfg: cfg, s: sys.s, w: w, h: h, a: a, in: in, pool: pool, engine: engine, log: log, threadMark: mark}
+	if cfg.Allocator.Dynamic {
+		ns.tuner = core.StartTuner(pool, cfg.Tuner)
+	}
+	ns.replay(sys.log.Replay())
+	return ns, nil
+}
+
+// replay reapplies logged operations in sequence order against the mounted
+// file system.
+func (ns *System) replay(records []nvlog.Record) {
+	for _, rec := range records {
+		v := ns.a.Volume(int(rec.Vol))
+		switch rec.Kind {
+		case nvlog.OpCreate:
+			v.CreateFileAt(rec.Ino, rec.MaxBlocks)
+		case nvlog.OpDelete:
+			v.DeleteFile(rec.Ino) // idempotent
+
+		case nvlog.OpWrite:
+			f := v.LookupFile(rec.Ino)
+			if f == nil {
+				panic(fmt.Sprintf("wafl: replay write to unknown ino %d", rec.Ino))
+			}
+			// Install the block's existing location (if any) so the
+			// replayed overwrite frees it at the next CP.
+			v.EnsureL0Resident(f, rec.FBN)
+			f.WriteBlock(rec.FBN, rec.Data)
+			v.MarkDirty(f)
+		}
+	}
+}

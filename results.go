@@ -1,0 +1,195 @@
+package wafl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wafl/internal/sim"
+)
+
+// CoreUsage is per-component average simulated core occupancy over a
+// measurement window — the metric the paper's Figures 4-7 plot alongside
+// throughput ("2.35 infrastructure + 3.88 cleaner cores").
+type CoreUsage struct {
+	Client    float64
+	Waffinity float64
+	Cleaner   float64
+	Infra     float64
+	CP        float64
+	RAID      float64
+	Other     float64
+}
+
+// Total returns the sum across components.
+func (c CoreUsage) Total() float64 {
+	return c.Client + c.Waffinity + c.Cleaner + c.Infra + c.CP + c.RAID + c.Other
+}
+
+// WriteAllocation returns the cores doing write-allocation work: cleaner
+// threads plus infrastructure (the paper's "write allocation core usage").
+func (c CoreUsage) WriteAllocation() float64 { return c.Cleaner + c.Infra }
+
+// Results summarizes one measurement window.
+type Results struct {
+	Window     Duration
+	Ops        uint64
+	Blocks     uint64
+	OpsPerSec  float64
+	MBPerSec   float64
+	LatAvg     Duration
+	LatP50     Duration
+	LatP90     Duration
+	LatP99     Duration
+	LatMax     Duration
+	Cores      CoreUsage
+	CPs        uint64
+	Stalls     uint64
+	StallTime  Duration
+	FullStripe float64 // fraction of stripes written full (no parity reads)
+	Cleaners   int     // active cleaner threads at window end
+}
+
+// String renders the results as a compact report.
+func (r Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window=%v ops=%d (%.0f ops/s, %.1f MB/s) ", r.Window, r.Ops, r.OpsPerSec, r.MBPerSec)
+	fmt.Fprintf(&b, "lat avg=%v p50=%v p99=%v ", r.LatAvg, r.LatP50, r.LatP99)
+	fmt.Fprintf(&b, "cores total=%.2f (client=%.2f cleaner=%.2f infra=%.2f cp=%.2f raid=%.2f waff=%.2f) ",
+		r.Cores.Total(), r.Cores.Client, r.Cores.Cleaner, r.Cores.Infra, r.Cores.CP, r.Cores.RAID, r.Cores.Waffinity)
+	fmt.Fprintf(&b, "cps=%d stalls=%d fullstripe=%.0f%%", r.CPs, r.Stalls, r.FullStripe*100)
+	return b.String()
+}
+
+// snapshot captures the counters Measure diffs.
+type snapshot struct {
+	at          Time
+	cpu         sim.CPUStats
+	ops         uint64
+	blocks      uint64
+	stalls      uint64
+	stallT      Duration
+	latIdx      int
+	cps         uint64
+	fullStripes uint64
+	partStripes uint64
+}
+
+func (sys *System) snap() snapshot {
+	var full, part uint64
+	for gi := 0; gi < sys.a.Groups(); gi++ {
+		st := sys.a.Group(gi).Stats()
+		full += st.FullStripeWrites
+		part += st.PartialStripeWrites
+	}
+	return snapshot{
+		at:          sys.s.Now(),
+		cpu:         sys.s.CPU(),
+		ops:         sys.opsDone,
+		blocks:      sys.blocksW,
+		stalls:      sys.stalls,
+		stallT:      sys.stallTime,
+		latIdx:      len(sys.latencies),
+		cps:         sys.a.CPCount(),
+		fullStripes: full,
+		partStripes: part,
+	}
+}
+
+// Measure runs the simulation for warmup, then for window, and returns the
+// metrics over the window.
+func (sys *System) Measure(warmup, window Duration) Results {
+	sys.Run(warmup)
+	start := sys.snap()
+	sys.Run(window)
+	end := sys.snap()
+	return sys.diff(start, end)
+}
+
+func (sys *System) diff(start, end snapshot) Results {
+	wall := Duration(end.at - start.at)
+	r := Results{
+		Window:    wall,
+		Ops:       end.ops - start.ops,
+		Blocks:    end.blocks - start.blocks,
+		CPs:       end.cps - start.cps,
+		Stalls:    end.stalls - start.stalls,
+		StallTime: end.stallT - start.stallT,
+		Cleaners:  sys.pool.Active(),
+	}
+	secs := wall.Seconds()
+	if secs > 0 {
+		r.OpsPerSec = float64(r.Ops) / secs
+		r.MBPerSec = float64(r.Blocks) * 4096 / (1 << 20) / secs
+	}
+	r.Cores = CoreUsage{
+		Client:    end.cpu.Cores(start.cpu, sim.CatClient),
+		Waffinity: end.cpu.Cores(start.cpu, sim.CatWaffinity),
+		Cleaner:   end.cpu.Cores(start.cpu, sim.CatCleaner),
+		Infra:     end.cpu.Cores(start.cpu, sim.CatInfra),
+		CP:        end.cpu.Cores(start.cpu, sim.CatCP),
+		RAID:      end.cpu.Cores(start.cpu, sim.CatRAID),
+		Other:     end.cpu.Cores(start.cpu, sim.CatOther),
+	}
+	lats := sys.latencies[start.latIdx:end.latIdx]
+	if len(lats) > 0 {
+		sorted := make([]Duration, len(lats))
+		copy(sorted, lats)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var sum Duration
+		for _, l := range sorted {
+			sum += l
+		}
+		r.LatAvg = sum / Duration(len(sorted))
+		r.LatP50 = sorted[len(sorted)*50/100]
+		r.LatP90 = sorted[len(sorted)*90/100]
+		r.LatP99 = sorted[len(sorted)*99/100]
+		r.LatMax = sorted[len(sorted)-1]
+	}
+	dFull := end.fullStripes - start.fullStripes
+	dPart := end.partStripes - start.partStripes
+	if dFull+dPart > 0 {
+		r.FullStripe = float64(dFull) / float64(dFull+dPart)
+	}
+	return r
+}
+
+// CPReport summarizes consistency-point engine activity: counts, average
+// duration, and the split between the cleaning phase and the metafile
+// phases (the CP "tail" that no cleaner parallelism can hide).
+func (sys *System) CPReport() string {
+	st := sys.engine.Stats()
+	if st.CPs == 0 {
+		return "no CPs"
+	}
+	avg := st.TotalDuration / Duration(st.CPs)
+	return fmt.Sprintf("cps=%d avg=%v clean=%v meta=%v longest=%v back2back=%d inodes=%d amapwrites=%d",
+		st.CPs, avg,
+		st.CleanDuration/Duration(st.CPs), st.MetaDuration/Duration(st.CPs),
+		st.LongestDuration, st.BackToBack, st.InodesCleaned, st.AmapWrites)
+}
+
+// CleanerJobStats returns the cleaner pool's cumulative job and batch
+// counts (equal unless batched inode cleaning merged jobs).
+func (sys *System) CleanerJobStats() (jobs, batches uint64) {
+	st := sys.pool.Stats()
+	return st.JobsRun, st.BatchesRun
+}
+
+// InfraStats exposes the allocator infrastructure counters.
+func (sys *System) InfraStats() interface{ String() string } {
+	return infraStatsView{sys}
+}
+
+type infraStatsView struct{ sys *System }
+
+func (v infraStatsView) String() string {
+	st := v.sys.in.Stats()
+	ps := v.sys.pool.Stats()
+	return fmt.Sprintf(
+		"buckets filled=%d committed=%d vbuckets=%d/%d tetris=%d (%d blk) stagemsgs=%d frees=%d fillwords=%d getwaits=%d | jobs=%d batches=%d buffers=%d splits=%d",
+		st.BucketsFilled, st.BucketsCommitted, st.VBucketsFilled, st.VBucketsCommitted,
+		st.TetrisesSent, st.TetrisBlocks, st.StageCommitMsgs, st.FreesCommitted,
+		st.FillWords, st.GetWaits,
+		ps.JobsRun, ps.BatchesRun, ps.BuffersCleaned, ps.FilesSplit)
+}

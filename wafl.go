@@ -1,0 +1,359 @@
+// Package wafl is the public facade of a simulation-faithful reproduction
+// of the WAFL file system's White Alligator write allocator ("Scalable
+// Write Allocation in the WAFL File System", Curtis-Maury, Kesavan &
+// Bhattacharjee, ICPP 2017).
+//
+// A System is a complete simulated storage server: a many-core CPU model, a
+// RAID aggregate with FlexVol volumes, an NVRAM operation log, a
+// Hierarchical Waffinity message scheduler, the White Alligator write
+// allocation infrastructure with its pool of parallel cleaner threads, and
+// a consistency-point engine. Client workloads drive it through
+// ClientThread sessions; Measure reports throughput, latency, and
+// per-component simulated core usage — the same metrics the paper's
+// instrumented kernels report.
+//
+// Quick start:
+//
+//	sys, _ := wafl.NewSystem(wafl.DefaultConfig())
+//	ino := sys.CreateFileDirect(0, 8192)
+//	sys.ClientThread("writer", func(c *wafl.ClientCtx) {
+//	    for i := 0; c.Alive(); i++ {
+//	        c.Write(0, ino, wafl.FBN((i*8)%8000), 8)
+//	    }
+//	})
+//	res := sys.Measure(100*wafl.Millisecond, wafl.Second)
+//	fmt.Println(res)
+package wafl
+
+import (
+	"fmt"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/block"
+	"wafl/internal/core"
+	"wafl/internal/cp"
+	"wafl/internal/nvlog"
+	"wafl/internal/sim"
+	"wafl/internal/storage"
+	"wafl/internal/waffinity"
+)
+
+// Re-exported simulation types, so library users never import internal
+// packages directly.
+type (
+	// Duration is simulated time in nanoseconds.
+	Duration = sim.Duration
+	// Time is a point in simulated time.
+	Time = sim.Time
+	// FBN is a file block number.
+	FBN = block.FBN
+	// AllocatorOptions configures White Alligator (chunk size, parallelism
+	// knobs, batching, dynamic tuning, ablation switches).
+	AllocatorOptions = core.Options
+	// CostModel holds the simulated CPU service demands.
+	CostModel = core.CostModel
+	// TunerConfig parameterizes the dynamic cleaner-thread tuner.
+	TunerConfig = core.TunerConfig
+	// AAPolicy selects the Allocation Area selection policy.
+	AAPolicy = core.AAPolicy
+)
+
+// Allocation Area policies (re-exported).
+const (
+	AAMostFree   = core.AAMostFree
+	AAFirstFit   = core.AAFirstFit
+	AARoundRobin = core.AARoundRobin
+)
+
+// Re-exported duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// DriveClass selects a drive service-time model.
+type DriveClass int
+
+// Drive classes used by the paper's three testbeds.
+const (
+	SSD DriveClass = iota // all-SSD mid-range system (§V-A)
+	FlashPool
+	HDD
+)
+
+func (d DriveClass) profile() storage.Profile {
+	switch d {
+	case HDD:
+		return storage.HDD
+	case FlashPool:
+		return storage.FlashPool
+	default:
+		return storage.SSD
+	}
+}
+
+// Config describes a simulated storage server.
+type Config struct {
+	// Cores is the simulated CPU count (the paper's testbeds have 20).
+	Cores int
+	// Seed drives all simulation randomness; same seed, same run.
+	Seed int64
+
+	// Aggregate geometry.
+	Drives      DriveClass
+	RAIDGroups  int
+	DataDrives  int // per group, excluding parity
+	DriveBlocks uint64
+	AAStripes   uint64
+
+	// Volumes.
+	Volumes      int
+	VolumeBlocks uint64
+
+	// NVRAMHalfBytes sizes each NVRAM log half; the CP cadence follows
+	// from it.
+	NVRAMHalfBytes uint64
+	// CPTriggerFullness starts a CP when the active half passes this
+	// fraction.
+	CPTriggerFullness float64
+
+	// StripesPerVolume and RangesPerVBN size the Waffinity hierarchy.
+	StripesPerVolume int
+	RangesPerVBN     int
+	// StripeWidthBlocks is the contiguous FBN range mapped to one stripe
+	// affinity.
+	StripeWidthBlocks uint64
+
+	// PayloadBytes is how many bytes of real pattern data each 4 KiB
+	// block write carries (the rest is zeros). NVRAM and drive accounting
+	// always use the full block size; smaller payloads just make long
+	// simulations cheaper on the host. Use 4096 when byte-exact content
+	// verification matters.
+	PayloadBytes int
+
+	Allocator AllocatorOptions
+	Costs     CostModel
+	Tuner     TunerConfig
+}
+
+// DefaultConfig returns a configuration modelling the paper's mid-range
+// testbed: 20 cores, an all-SSD aggregate of two RAID groups, four volumes.
+func DefaultConfig() Config {
+	return Config{
+		Cores:             20,
+		Seed:              1,
+		Drives:            SSD,
+		RAIDGroups:        2,
+		DataDrives:        4,
+		DriveBlocks:       65536,
+		AAStripes:         2048,
+		Volumes:           4,
+		VolumeBlocks:      1 << 17,
+		NVRAMHalfBytes:    24 << 20,
+		CPTriggerFullness: 0.5,
+		StripesPerVolume:  16,
+		RangesPerVBN:      8,
+		StripeWidthBlocks: 2048,
+		PayloadBytes:      64,
+		Allocator:         core.DefaultOptions(),
+		Costs:             core.DefaultCosts(),
+		Tuner:             core.DefaultTuner(),
+	}
+}
+
+// System is a running simulated storage server.
+type System struct {
+	cfg    Config
+	s      *sim.Scheduler
+	w      *waffinity.Scheduler
+	h      *waffinity.Hierarchy
+	a      *aggregate.Aggregate
+	in     *core.Infra
+	pool   *core.Pool
+	engine *cp.Engine
+	log    *nvlog.Log
+	tuner  *core.Tuner
+
+	clients    []*ClientCtx
+	threadMark int // first sim thread belonging to this System
+	stopped    bool
+	opsDone    uint64
+	blocksW    uint64
+	blocksR    uint64
+	stalls     uint64
+	stallTime  sim.Duration
+	latencies  []sim.Duration
+}
+
+// NewSystem builds and formats a simulated storage server.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("wafl: need at least one core")
+	}
+	s := sim.New(cfg.Cores, cfg.Seed)
+	threadMark := s.ThreadMark()
+	w := waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
+	h := waffinity.NewHierarchy(w, waffinity.HierarchyConfig{
+		Aggregates:    1,
+		VolumesPerAgg: cfg.Volumes,
+		StripesPerVol: cfg.StripesPerVolume,
+		RangesPerVBN:  cfg.RangesPerVBN,
+	})
+	a, err := aggregate.New(s, aggregate.Config{
+		Geometry: aggregate.Geometry{
+			NumGroups:  cfg.RAIDGroups,
+			DataDrives: cfg.DataDrives,
+			Depth:      block.DBN(cfg.DriveBlocks),
+			AAStripes:  block.DBN(cfg.AAStripes),
+		},
+		Profile: cfg.Drives.profile(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Volumes; i++ {
+		a.AddVolume(cfg.VolumeBlocks)
+	}
+	in := core.NewInfra(w, h, a, cfg.Allocator, cfg.Costs)
+	pool := core.NewPool(in, cfg.Allocator, cfg.Costs)
+	log := nvlog.New(cfg.NVRAMHalfBytes)
+	engine := cp.New(w, h, a, in, pool, log, cfg.Costs)
+	sys := &System{cfg: cfg, s: s, w: w, h: h, a: a, in: in, pool: pool, engine: engine, log: log, threadMark: threadMark}
+	if cfg.Allocator.Dynamic {
+		sys.tuner = core.StartTuner(pool, cfg.Tuner)
+	}
+	// Commit an initial (empty) CP so the media always carries a valid
+	// superblock — a freshly formatted system must be mountable even if it
+	// crashes before any client-triggered CP.
+	engine.RequestCP()
+	for i := 0; i < 100 && a.CPCount() == 0; i++ {
+		s.RunFor(10 * sim.Millisecond)
+	}
+	if a.CPCount() == 0 {
+		return nil, fmt.Errorf("wafl: initial consistency point did not complete")
+	}
+	return sys, nil
+}
+
+// Run advances the simulation by d.
+func (sys *System) Run(d Duration) { sys.s.RunFor(d) }
+
+// Shutdown terminates every simulated thread so the whole system becomes
+// garbage-collectable. Call it when done with a System (experiment harness
+// loops leak goroutines otherwise). The System is unusable afterwards; do
+// not Shutdown a crashed system you still intend to Recover from (recovery
+// shares the scheduler).
+func (sys *System) Shutdown() {
+	sys.stopped = true
+	if sys.tuner != nil {
+		sys.tuner.Stop()
+	}
+	sys.s.Shutdown()
+}
+
+// Now returns the current simulated time.
+func (sys *System) Now() Time { return sys.s.Now() }
+
+// Stop makes client loops exit at their next Alive check.
+func (sys *System) Stop() { sys.stopped = true }
+
+// ActiveCleaners returns the current active cleaner-thread count.
+func (sys *System) ActiveCleaners() int { return sys.pool.Active() }
+
+// CPCount returns the number of completed consistency points.
+func (sys *System) CPCount() uint64 { return sys.a.CPCount() }
+
+// AggrFreeBlocks returns the loosely-accounted aggregate free-block count.
+func (sys *System) AggrFreeBlocks() int64 { return sys.in.AggrFree() }
+
+// TunerSamples returns the dynamic tuner's decision trace (nil when the
+// tuner is off).
+func (sys *System) TunerSamples() []core.TunerSample {
+	if sys.tuner == nil {
+		return nil
+	}
+	return sys.tuner.Samples
+}
+
+// Hierarchy renders the Waffinity affinity tree.
+func (sys *System) Hierarchy() string { return sys.h.String() }
+
+// maybeTriggerCP starts a CP when the active NVRAM half passes the
+// configured threshold.
+func (sys *System) maybeTriggerCP() {
+	if sys.log.Fullness() >= sys.cfg.CPTriggerFullness && !sys.log.HasFrozen() {
+		sys.engine.RequestCP()
+	}
+}
+
+// ForceCP requests a consistency point and returns immediately.
+func (sys *System) ForceCP() { sys.engine.RequestCP() }
+
+// Prewrite populates a file directly — no client protocol, no NVRAM — to
+// age the file system before a measurement. With shuffle the blocks are
+// written in random FBN order, so their physical locations scramble and the
+// first overwrite wave already frees blocks scattered across the VBN space
+// (the aged state a long-running random-write workload converges to).
+// Call Flush afterwards to push the blocks to storage.
+func (sys *System) Prewrite(vol int, ino uint64, blocks uint64, shuffle bool) {
+	v := sys.a.Volume(vol)
+	f := v.LookupFile(ino)
+	if f == nil {
+		panic(fmt.Sprintf("wafl: Prewrite of unknown ino %d", ino))
+	}
+	order := make([]uint64, blocks)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	if shuffle {
+		sys.s.Rand().Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	for _, fbn := range order {
+		f.WriteBlock(FBN(fbn), sys.payload(ino, FBN(fbn), 0))
+	}
+	v.MarkDirty(f)
+}
+
+// Flush drives consistency points until all dirty state is persisted,
+// without stopping client threads.
+func (sys *System) Flush() error {
+	for i := 0; i < 8; i++ {
+		sys.engine.RequestCP()
+		sys.Run(2 * Second)
+		clean := sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() && !sys.engine.Running()
+		for _, v := range sys.a.Volumes() {
+			if v.DirtyFiles() > 0 {
+				clean = false
+			}
+		}
+		if clean {
+			return nil
+		}
+	}
+	return fmt.Errorf("wafl: system did not flush (log ops=%d, frozen=%v)",
+		sys.log.ActiveOps(), sys.log.HasFrozen())
+}
+
+// Quiesce stops accepting new client work (clients see Alive() == false)
+// and drives consistency points until every dirty buffer and logged
+// operation has reached persistent storage.
+func (sys *System) Quiesce() error {
+	sys.stopped = true
+	for i := 0; i < 8; i++ {
+		sys.engine.RequestCP()
+		sys.Run(2 * Second)
+		clean := sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() && !sys.engine.Running()
+		for _, v := range sys.a.Volumes() {
+			if v.DirtyFiles() > 0 {
+				clean = false
+			}
+		}
+		if clean {
+			return nil
+		}
+	}
+	return fmt.Errorf("wafl: system did not quiesce (log ops=%d, frozen=%v)",
+		sys.log.ActiveOps(), sys.log.HasFrozen())
+}

@@ -1,0 +1,195 @@
+// Package workload provides the client workload generators used by the
+// paper's evaluation (§V): sequential write and random write from FC-like
+// clients (Figs 4-7, 9), an OLTP-style mix (Fig 8), and an NFSv3-style
+// mixed operation load over many small files (§V-C).
+//
+// Each generator attaches closed-loop client threads to a wafl.System; the
+// number of clients is the load level.
+package workload
+
+import (
+	"fmt"
+
+	"wafl"
+)
+
+// SeqWrite is the sequential-write workload of §V-A1: each client streams
+// large writes through its own file, wrapping at the end — every write
+// allocates new blocks and frees the overwritten ones.
+type SeqWrite struct {
+	Clients    int
+	OpBlocks   int    // blocks per write op (8 = 32 KiB)
+	FileBlocks uint64 // per-client file size
+	Volumes    int    // spread clients over this many volumes
+}
+
+// DefaultSeqWrite matches the mid-range FC testbed shape.
+func DefaultSeqWrite() SeqWrite {
+	return SeqWrite{Clients: 56, OpBlocks: 8, FileBlocks: 8192, Volumes: 4}
+}
+
+// Attach creates the files and spawns the client threads.
+func (w SeqWrite) Attach(sys *wafl.System) {
+	for i := 0; i < w.Clients; i++ {
+		vol := i % w.Volumes
+		ino := sys.CreateFileDirect(vol, w.FileBlocks)
+		i := i
+		sys.ClientThread(fmt.Sprintf("seq-client-%d", i), func(c *wafl.ClientCtx) {
+			fbn := wafl.FBN(0)
+			for c.Alive() {
+				c.Write(vol, ino, fbn, w.OpBlocks)
+				fbn += wafl.FBN(w.OpBlocks)
+				if uint64(fbn)+uint64(w.OpBlocks) > w.FileBlocks {
+					fbn = 0
+				}
+			}
+		})
+	}
+}
+
+// RandWrite is the random-write workload of §V-A2: small overwrites at
+// uniformly random offsets. The frees it generates scatter across the VBN
+// space, multiplying allocation-metafile block updates.
+type RandWrite struct {
+	Clients    int
+	OpBlocks   int // blocks per op (2 = 8 KiB)
+	FileBlocks uint64
+	Volumes    int
+	Prefill    bool // write the file once first so every op frees blocks
+}
+
+// DefaultRandWrite matches the paper's random-write setup.
+func DefaultRandWrite() RandWrite {
+	return RandWrite{Clients: 56, OpBlocks: 2, FileBlocks: 8192, Volumes: 4, Prefill: true}
+}
+
+// Attach creates the files — pre-aged with a shuffled prewrite so frees
+// scatter from the first overwrite — and spawns the client threads.
+func (w RandWrite) Attach(sys *wafl.System) {
+	inos := make([]uint64, w.Clients)
+	vols := make([]int, w.Clients)
+	for i := 0; i < w.Clients; i++ {
+		vols[i] = i % w.Volumes
+		inos[i] = sys.CreateFileDirect(vols[i], w.FileBlocks)
+		if w.Prefill {
+			sys.Prewrite(vols[i], inos[i], w.FileBlocks, true)
+		}
+	}
+	if w.Prefill {
+		if err := sys.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < w.Clients; i++ {
+		vol, ino, i := vols[i], inos[i], i
+		sys.ClientThread(fmt.Sprintf("rand-client-%d", i), func(c *wafl.ClientCtx) {
+			span := int64(w.FileBlocks) - int64(w.OpBlocks)
+			for c.Alive() {
+				fbn := wafl.FBN(c.Rand(span))
+				c.Write(vol, ino, fbn, w.OpBlocks)
+			}
+		})
+	}
+}
+
+// OLTP models the internal OLTP benchmark of §V-B: latency-sensitive FC
+// clients issuing small random writes and reads against a database-like
+// working set, with client-side think time so the system can run below
+// saturation (the "knee" regime).
+type OLTP struct {
+	Clients    int
+	FileBlocks uint64
+	Volumes    int
+	WritePct   int           // percentage of ops that are writes
+	Think      wafl.Duration // per-op client think time
+	Prefill    bool          // age the database files before measuring
+}
+
+// DefaultOLTP matches the Flash Pool testbed shape.
+func DefaultOLTP() OLTP {
+	return OLTP{Clients: 16, FileBlocks: 16384, Volumes: 2, WritePct: 60, Think: 200 * wafl.Microsecond, Prefill: true}
+}
+
+// Attach creates (and, with Prefill, ages) the database files and spawns
+// the client threads.
+func (w OLTP) Attach(sys *wafl.System) {
+	inos := make([]uint64, w.Volumes)
+	for v := 0; v < w.Volumes; v++ {
+		inos[v] = sys.CreateFileDirect(v, w.FileBlocks)
+		if w.Prefill {
+			sys.Prewrite(v, inos[v], w.FileBlocks, true)
+		}
+	}
+	if w.Prefill {
+		if err := sys.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < w.Clients; i++ {
+		vol := i % w.Volumes
+		ino := inos[vol]
+		i := i
+		sys.ClientThread(fmt.Sprintf("oltp-client-%d", i), func(c *wafl.ClientCtx) {
+			span := int64(w.FileBlocks) - 2
+			for c.Alive() {
+				fbn := wafl.FBN(c.Rand(span))
+				if int(c.Rand(100)) < w.WritePct {
+					c.Write(vol, ino, fbn, 2)
+				} else {
+					c.Read(vol, ino, fbn, 2)
+				}
+				if w.Think > 0 {
+					c.Think(w.Think)
+				}
+			}
+		})
+	}
+}
+
+// NFSMix models the §V-C benchmark: a mix of NFSv3 reads, writes, and
+// metadata operations across a large number of inodes — many dirty inodes
+// with few dirty buffers each, the case batched inode cleaning exists for.
+type NFSMix struct {
+	Clients    int
+	FilesPerV  int
+	FileBlocks uint64
+	Volumes    int
+	Think      wafl.Duration
+}
+
+// DefaultNFSMix matches the SAS-drive testbed shape.
+func DefaultNFSMix() NFSMix {
+	return NFSMix{Clients: 64, FilesPerV: 400, FileBlocks: 64, Volumes: 4, Think: 100 * wafl.Microsecond}
+}
+
+// Attach creates the file population and spawns the client threads.
+func (w NFSMix) Attach(sys *wafl.System) {
+	files := make([][]uint64, w.Volumes)
+	for v := 0; v < w.Volumes; v++ {
+		for k := 0; k < w.FilesPerV; k++ {
+			files[v] = append(files[v], sys.CreateFileDirect(v, w.FileBlocks))
+		}
+	}
+	for i := 0; i < w.Clients; i++ {
+		vol := i % w.Volumes
+		i := i
+		sys.ClientThread(fmt.Sprintf("nfs-client-%d", i), func(c *wafl.ClientCtx) {
+			pop := files[vol]
+			for c.Alive() {
+				ino := pop[c.Rand(int64(len(pop)))]
+				fbn := wafl.FBN(c.Rand(int64(w.FileBlocks - 2)))
+				switch r := c.Rand(100); {
+				case r < 40: // write: 1-2 blocks of a small file
+					c.Write(vol, ino, fbn, 1+int(c.Rand(2)))
+				case r < 75: // read
+					c.Read(vol, ino, fbn, 1)
+				default: // metadata op
+					c.Getattr(vol, ino)
+				}
+				if w.Think > 0 {
+					c.Think(w.Think)
+				}
+			}
+		})
+	}
+}
