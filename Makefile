@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# ci is the gate run before merging: vet, build, and the full test suite
+# under the race detector.
+ci: vet build race
+
+clean:
+	rm -f wafltop waflbench *.test

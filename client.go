@@ -5,6 +5,7 @@ import (
 
 	"wafl/internal/block"
 	"wafl/internal/nvlog"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 	"wafl/internal/waffinity"
 )
@@ -87,6 +88,11 @@ func (c *ClientCtx) reserveLog(bytes uint64) Duration {
 		sys.engine.RequestCP()
 		sys.engine.WaitCPDone(c.t)
 		stalled += Duration(c.t.Now() - start)
+		if tr := c.t.Tracer(); tr != nil {
+			tr.Span(obs.PidThreads, c.t.TrackID(), "client", "nvram stall",
+				int64(start), int64(c.t.Now()))
+			tr.Observe("client.stall", int64(c.t.Now()-start))
+		}
 	}
 	return stalled
 }
@@ -147,6 +153,11 @@ func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 		sys.maybeTriggerCP()
 	}
 	lat := Duration(c.t.Now() - start)
+	if tr := c.t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, c.t.TrackID(), "client", "write",
+			int64(start), int64(c.t.Now()), int64(nblocks))
+		tr.Observe("client.write", int64(lat))
+	}
 	c.Ops++
 	c.Blocks += uint64(nblocks)
 	sys.opsDone++
@@ -175,6 +186,11 @@ func (c *ClientCtx) Read(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp)
 	lat := Duration(c.t.Now() - start)
+	if tr := c.t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, c.t.TrackID(), "client", "read",
+			int64(start), int64(c.t.Now()), int64(nblocks))
+		tr.Observe("client.read", int64(lat))
+	}
 	c.Ops++
 	sys.opsDone++
 	sys.blocksR += uint64(nblocks)

@@ -8,6 +8,7 @@
 //	waflbench                 # run everything
 //	waflbench -exp fig4       # one experiment: fig4..fig9, batch, ablations
 //	waflbench -window 400ms   # measurement window
+//	waflbench -exp fig4 -trace fig4   # dump fig4-NNN.json Perfetto timelines
 package main
 
 import (
@@ -27,7 +28,13 @@ func main() {
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
 	cleaners := flag.Int("cleaners", 4, "parallel cleaner-thread count for the permutation experiments")
+	trace := flag.String("trace", "", "dump one Chrome trace JSON per measurement as <prefix>-NNN.json")
+	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
 	flag.Parse()
+
+	if *trace != "" {
+		harness.EnableTracing(*trace, *traceEvents)
+	}
 
 	rc := harness.DefaultRun()
 	rc.Window = wafl.Duration(window.Nanoseconds())

@@ -9,6 +9,7 @@
 //	wafltop                  # run a mixed workload for 200ms and report
 //	wafltop -tree            # affinity tree only
 //	wafltop -run 500ms -workload random
+//	wafltop -trace out.json  # also dump a Chrome/Perfetto trace timeline
 package main
 
 import (
@@ -26,11 +27,17 @@ func main() {
 	runFor := flag.Duration("run", 200*time.Millisecond, "simulated run length")
 	wl := flag.String("workload", "seq", "workload: seq | random | oltp | nfs")
 	cleaners := flag.Int("cleaners", 4, "cleaner threads")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
 	flag.Parse()
 
 	cfg := wafl.DefaultConfig()
 	cfg.Allocator.InitialCleaners = *cleaners
 	cfg.Allocator.MaxCleaners = *cleaners
+	if *traceOut != "" {
+		cfg.Trace = true
+		cfg.TraceEvents = *traceEvents
+	}
 	sys, err := wafl.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wafltop:", err)
@@ -64,4 +71,23 @@ func main() {
 	fmt.Println()
 	fmt.Println("=== affinity hierarchy (Fig 1), messages executed ===")
 	fmt.Print(sys.Hierarchy())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wafltop:", err)
+			os.Exit(1)
+		}
+		if err := sys.WriteTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "wafltop:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Println()
+		fmt.Println("=== trace latency histograms ===")
+		fmt.Print(sys.TraceReport())
+		tr := sys.Tracer()
+		fmt.Printf("\nwrote %d trace events to %s (%d dropped by ring wrap); open at ui.perfetto.dev\n",
+			tr.Len(), *traceOut, tr.Dropped())
+	}
 }

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"strings"
 
 	"wafl"
@@ -85,16 +86,54 @@ func DefaultRun() RunConfig {
 	}
 }
 
+// tracing holds the package-level trace hook state set by EnableTracing.
+var tracing struct {
+	prefix string
+	events int
+	seq    int
+}
+
+// EnableTracing makes every subsequent Measure run with the observability
+// spine on, dumping one Chrome trace-event JSON timeline per measurement to
+// <prefix>-NNN.json (numbered in run order). events bounds the trace ring
+// buffer; 0 selects the default. Tracing never changes measured results.
+func EnableTracing(prefix string, events int) {
+	tracing.prefix = prefix
+	tracing.events = events
+	tracing.seq = 0
+}
+
+// DisableTracing turns the Measure trace hook back off.
+func DisableTracing() { tracing.prefix = "" }
+
 // Measure builds a system with cfg, attaches the workload, measures, and
 // tears the system down (the returned *System is only good for reading
-// statistics).
+// statistics). With EnableTracing active, the run is traced and its
+// timeline written before teardown.
 func Measure(cfg wafl.Config, w Attacher, warmup, window wafl.Duration) (wafl.Results, *wafl.System, error) {
+	if tracing.prefix != "" {
+		cfg.Trace = true
+		cfg.TraceEvents = tracing.events
+	}
 	sys, err := wafl.NewSystem(cfg)
 	if err != nil {
 		return wafl.Results{}, nil, err
 	}
 	w.Attach(sys)
 	res := sys.Measure(warmup, window)
+	if tracing.prefix != "" {
+		name := fmt.Sprintf("%s-%03d.json", tracing.prefix, tracing.seq)
+		tracing.seq++
+		if f, err := os.Create(name); err != nil {
+			fmt.Fprintln(os.Stderr, "harness: trace:", err)
+		} else {
+			if err := sys.WriteTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, "harness: trace:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "harness: wrote trace %s (%d events)\n", name, sys.Tracer().Len())
+		}
+	}
 	sys.Shutdown()
 	return res, sys, nil
 }

@@ -7,10 +7,6 @@ import (
 	"wafl/internal/fs"
 )
 
-// AmapTrace, when set, observes every VBN the flush planner claims
-// (debug hook).
-var AmapTrace func(bn uint64)
-
 // AmapWrite is one block write produced by planning the activemap flush.
 type AmapWrite struct {
 	VBN  block.VBN
@@ -54,6 +50,10 @@ func (a *Aggregate) PlanAmapFlush(alloc func() block.VBN) []AmapWrite {
 	assigned := make(map[key]block.VBN)
 	member := make(map[key]*fs.Buffer)
 	prefreed := make(map[key]bool)
+	// memberOrder fixes the VBN-assignment order: alloc() is a cursor, so
+	// handing out VBNs in map-iteration order would nondeterministically
+	// shuffle which activemap block lands where on disk.
+	var memberOrder []key
 
 	// enroll adds b (and implicitly, later, its ancestors) to D.
 	enroll := func(b *fs.Buffer) bool {
@@ -62,6 +62,7 @@ func (a *Aggregate) PlanAmapFlush(alloc func() block.VBN) []AmapWrite {
 			return false
 		}
 		member[k] = b
+		memberOrder = append(memberOrder, k)
 		f.DirtyIntoCP(b)
 		return true
 	}
@@ -86,7 +87,7 @@ func (a *Aggregate) PlanAmapFlush(alloc func() block.VBN) []AmapWrite {
 		}
 		// Step 2: pre-allocate for members without a new home. Set() may
 		// dirty further activemap blocks; they are swept next pass.
-		for k, b := range member {
+		for _, k := range memberOrder {
 			if _, ok := assigned[k]; ok {
 				continue
 			}
@@ -94,21 +95,18 @@ func (a *Aggregate) PlanAmapFlush(alloc func() block.VBN) []AmapWrite {
 			if vbn == block.InvalidVBN {
 				panic("aggregate: no space for activemap flush")
 			}
-			if AmapTrace != nil {
-				AmapTrace(uint64(vbn))
-			}
+			a.Sched().Tracer().NoteBlock(uint64(vbn), "amap flush plan")
 			a.Activemap.Set(uint64(vbn))
 			assigned[k] = vbn
 			changed = true
-			_ = b
 		}
 		// Step 3: pre-free old locations.
-		for k, b := range member {
+		for _, k := range memberOrder {
 			if prefreed[k] {
 				continue
 			}
 			prefreed[k] = true
-			if old := b.VBN(); old != block.InvalidVBN && old != 0 {
+			if old := member[k].VBN(); old != block.InvalidVBN && old != 0 {
 				a.Activemap.Clear(uint64(old))
 			}
 			changed = true

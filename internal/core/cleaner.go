@@ -8,6 +8,7 @@ import (
 	"wafl/internal/block"
 	"wafl/internal/counters"
 	"wafl/internal/fs"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 	"wafl/internal/waffinity"
 )
@@ -311,6 +312,11 @@ func (p *Pool) threadLoop(cs *cleanerState) {
 			p.runJob(cs, job)
 		}
 		cs.engaged += sim.Duration(t.Now() - jobStart)
+		if tr := t.Tracer(); tr != nil {
+			tr.SpanArg(obs.PidThreads, t.TrackID(), "cleaner", "clean batch",
+				int64(jobStart), int64(t.Now()), int64(len(batch)))
+			tr.Observe("cleaner.batch", int64(t.Now()-jobStart))
+		}
 
 		p.queueMu.Lock(t)
 		p.pendingJobs -= len(batch)
@@ -396,6 +402,10 @@ func (p *Pool) cleanFile(cs *cleanerState, job *Job, f *fs.File) {
 			}
 			vbn := cs.phys.vbns[cs.phys.next]
 			cs.phys.next++
+			if tr := t.Tracer(); tr != nil {
+				tr.InstantArg(obs.PidThreads, t.TrackID(), "alloc", "USE",
+					int64(t.Now()), int64(vbn))
+			}
 
 			// And a VVBN from the volume bucket for dual-addressed files.
 			vvbn := block.InvalidVVBN

@@ -7,6 +7,7 @@ import (
 	"wafl/internal/bitmap"
 	"wafl/internal/block"
 	"wafl/internal/counters"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 	"wafl/internal/storage"
 	"wafl/internal/waffinity"
@@ -97,7 +98,21 @@ type Infra struct {
 	draining   bool
 	inCP       bool
 
+	obsGroupTid []int32 // interned per-group trace track id + 1; 0 = unset
+
 	stats InfraStats
+}
+
+// groupTrack returns the trace track for a RAID group's window/tetris
+// lifecycle events, interning it on first use.
+func (in *Infra) groupTrack(tr *obs.Tracer, group int) int32 {
+	if in.obsGroupTid == nil {
+		in.obsGroupTid = make([]int32, in.a.Groups())
+	}
+	if in.obsGroupTid[group] == 0 {
+		in.obsGroupTid[group] = tr.Track(obs.PidInfra, fmt.Sprintf("group%d", group)) + 1
+	}
+	return in.obsGroupTid[group] - 1
 }
 
 // NewInfra builds the infrastructure over an aggregate and a Waffinity
@@ -289,9 +304,14 @@ func (in *Infra) fillBucket(t *sim.Thread, group, drive int, start, depth block.
 	geo := in.a.Geometry()
 	lo := uint64(geo.VBNOf(group, drive, start))
 	hi := lo + uint64(depth)
+	fillStart := t.Now()
 	vbns, words := in.findFreePhys(lo, hi, int(depth))
 	in.stats.FillWords += uint64(words)
 	t.ConsumeAs(sim.CatInfra, in.costs.FillFixed+sim.Duration(words)*in.costs.FillPerWord)
+	if tr := t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, t.TrackID(), "infra", "fill bucket",
+			int64(fillStart), int64(t.Now()), int64(len(vbns)))
+	}
 	for _, vbn := range vbns {
 		in.reserved.set(uint64(vbn))
 	}
@@ -329,6 +349,10 @@ func (in *Infra) requestWindow(group int) {
 	geo := in.a.Geometry()
 	start, depth := in.nextWindow(group)
 	drives := geo.DataDrives
+	if tr := in.s.Tracer(); tr != nil {
+		tr.InstantArg(obs.PidInfra, in.groupTrack(tr, group), "window", "window request",
+			int64(in.s.Now()), int64(start))
+	}
 	wf := &windowFill{
 		tetris:  newTetris(group, start, drives),
 		buckets: make([]*Bucket, drives),
@@ -413,6 +437,10 @@ func (in *Infra) installWindow(t *sim.Thread, wf *windowFill) {
 	}
 	wf.tetris.outstanding = nonEmpty
 	wf.tetris.initialBuckets = nonEmpty
+	if tr := t.Tracer(); tr != nil {
+		tr.InstantArg(obs.PidInfra, in.groupTrack(tr, wf.tetris.group), "window", "window install",
+			int64(t.Now()), int64(nonEmpty))
+	}
 	in.cacheMu.Lock(t)
 	for _, b := range wf.buckets {
 		if b != nil && len(b.vbns) > 0 {
@@ -431,6 +459,7 @@ func (in *Infra) installWindow(t *sim.Thread, wf *windowFill) {
 // Alligator serial mode the caller fills the cache itself, inline.
 func (in *Infra) GetBucket(t *sim.Thread) *Bucket {
 	t.Consume(in.costs.BucketOp)
+	getStart := t.Now()
 	in.cacheMu.Lock(t)
 	if in.opts.CleanInSerialAffinity {
 		for len(in.cache) == 0 {
@@ -438,13 +467,21 @@ func (in *Infra) GetBucket(t *sim.Thread) *Bucket {
 			in.serialGroup = (in.serialGroup + 1) % in.a.Groups()
 		}
 	}
+	waited := false
 	for len(in.cache) == 0 {
 		in.stats.GetWaits++
+		waited = true
 		in.cacheCond.WaitWith(t, in.cacheMu)
 	}
 	b := in.cache[0]
 	in.cache = in.cache[1:]
 	in.cacheMu.Unlock(t)
+	if tr := t.Tracer(); tr != nil {
+		if waited {
+			tr.Span(obs.PidThreads, t.TrackID(), "alloc", "GET wait", int64(getStart), int64(t.Now()))
+		}
+		tr.Observe("infra.get_wait", int64(t.Now()-getStart))
+	}
 	return b
 }
 
@@ -454,6 +491,10 @@ func (in *Infra) GetBucket(t *sim.Thread) *Bucket {
 // outstanding bucket, the tetris I/O is built and sent to RAID.
 func (in *Infra) PutBucket(t *sim.Thread, b *Bucket) {
 	t.Consume(in.costs.BucketOp)
+	if tr := t.Tracer(); tr != nil {
+		tr.InstantArg(obs.PidThreads, t.TrackID(), "alloc", "PUT bucket",
+			int64(t.Now()), int64(b.next))
+	}
 	te := b.tetris
 	te.outstanding--
 	if te.outstanding == 0 && te.blocks > 0 {
@@ -488,12 +529,13 @@ func (in *Infra) commitBucketBody(t *sim.Thread, b *Bucket) {
 	used := b.Used()
 	blocks := distinctAmapBlocks(used)
 	t.ConsumeAs(sim.CatInfra, sim.Duration(blocks)*in.costs.CommitPerBlock+sim.Duration(len(used))*in.costs.CommitPerBit)
+	tr := in.s.Tracer()
 	for _, vbn := range used {
 		if in.a.Activemap.IsSet(uint64(vbn)) {
 			panic(fmt.Sprintf("core: double allocation of %v committing bucket group=%d drive=%d window=%d (reserved=%v pendingFree=%v) last setter: %s",
-				vbn, b.group, b.drive, b.window, in.reserved.test(uint64(vbn)), in.pendingFree.test(uint64(vbn)), traceOf(uint64(vbn))))
+				vbn, b.group, b.drive, b.window, in.reserved.test(uint64(vbn)), in.pendingFree.test(uint64(vbn)), tr.BlockNote(uint64(vbn))))
 		}
-		traceSet(uint64(vbn), "commitBucket g=%d d=%d win=%d cp=%d", b.group, b.drive, b.window, in.a.CPCount())
+		tr.NoteBlock(uint64(vbn), "commitBucket g=%d d=%d win=%d cp=%d", b.group, b.drive, b.window, in.a.CPCount())
 		in.a.Activemap.Set(uint64(vbn))
 	}
 	for _, vbn := range b.vbns {
@@ -532,6 +574,11 @@ func (in *Infra) sendTetris(t *sim.Thread, te *Tetris) {
 	t.Consume(in.costs.TetrisSend)
 	in.stats.TetrisesSent++
 	in.stats.TetrisBlocks += uint64(te.blocks)
+	if tr := t.Tracer(); tr != nil {
+		tr.InstantArg(obs.PidInfra, in.groupTrack(tr, te.group), "tetris", "tetris send",
+			int64(t.Now()), int64(te.blocks))
+		tr.Observe("infra.tetris_blocks", int64(te.blocks))
+	}
 	in.pendingIO++
 	writes := te.perDrive
 	// Reset so a bucket inserted into this window later (the

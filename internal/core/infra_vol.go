@@ -4,6 +4,7 @@ import (
 	"wafl/internal/aggregate"
 	"wafl/internal/bitmap"
 	"wafl/internal/block"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 )
 
@@ -132,18 +133,27 @@ func (in *Infra) requestVBucket(vs *volState) {
 // available, and tops the per-volume cache back up to its target.
 func (in *Infra) GetVBucket(t *sim.Thread, vol *aggregate.Volume) *VBucket {
 	t.Consume(in.costs.BucketOp)
+	getStart := t.Now()
 	vs := in.vols[vol.ID()]
 	if in.opts.CleanInSerialAffinity {
 		for len(vs.cache) == 0 {
 			in.installVBucket(vs, in.scanVBucket(t, vs))
 		}
 	}
+	waited := false
 	for len(vs.cache) == 0 {
 		if vs.pendingFills == 0 && in.inCP && !in.draining {
 			in.requestVBucket(vs)
 		}
 		in.stats.GetWaits++
+		waited = true
 		vs.cond.Wait(t)
+	}
+	if tr := t.Tracer(); tr != nil {
+		if waited {
+			tr.Span(obs.PidThreads, t.TrackID(), "alloc", "vGET wait", int64(getStart), int64(t.Now()))
+		}
+		tr.Observe("infra.vget_wait", int64(t.Now()-getStart))
 	}
 	vb := vs.cache[0]
 	vs.cache = vs.cache[1:]
@@ -157,6 +167,10 @@ func (in *Infra) GetVBucket(t *sim.Thread, vol *aggregate.Volume) *VBucket {
 // VVBN allocations and container-map entries in batch.
 func (in *Infra) PutVBucket(t *sim.Thread, vb *VBucket) {
 	t.Consume(in.costs.BucketOp)
+	if tr := t.Tracer(); tr != nil {
+		tr.InstantArg(obs.PidThreads, t.TrackID(), "alloc", "PUT vbucket",
+			int64(t.Now()), int64(vb.next))
+	}
 	vs := in.vols[vb.vol.ID()]
 	if vb.next == 0 {
 		// Nothing used: release reservations directly.

@@ -15,6 +15,7 @@ import (
 	"wafl/internal/core"
 	"wafl/internal/fs"
 	"wafl/internal/nvlog"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 	"wafl/internal/storage"
 	"wafl/internal/waffinity"
@@ -52,7 +53,24 @@ type Engine struct {
 	running bool
 	stopped bool
 
+	obsTid int32 // interned CP-phase trace track id + 1; 0 = unset
+
 	stats Stats
+}
+
+// track returns the CP phase-marker trace track, interning it on first use.
+func (e *Engine) track(tr *obs.Tracer) int32 {
+	if e.obsTid == 0 {
+		e.obsTid = tr.Track(obs.PidCP, "phases") + 1
+	}
+	return e.obsTid - 1
+}
+
+// phaseSpan emits one CP phase span and returns the phase's end time, the
+// start of the next phase.
+func (e *Engine) phaseSpan(tr *obs.Tracer, name string, start sim.Time, now sim.Time) sim.Time {
+	tr.Span(obs.PidCP, e.track(tr), "cp", name, int64(start), int64(now))
+	return now
 }
 
 // New creates the engine and starts its thread.
@@ -118,6 +136,8 @@ func (e *Engine) loop(t *sim.Thread) {
 // runCP executes one full consistency point on the engine thread.
 func (e *Engine) runCP(t *sim.Thread) {
 	start := t.Now()
+	tr := t.Tracer()
+	ph := start // start of the phase currently executing
 
 	// Phase 1: freeze. Atomically capture the dirty state: switch NVRAM
 	// halves and move every dirty inode's buffers into its frozen set.
@@ -165,12 +185,19 @@ func (e *Engine) runCP(t *sim.Thread) {
 		jobs = append(jobs, e.pool.BuildJobs(v, frozen[v.ID()], true)...)
 	}
 	cleanStart := t.Now()
+	if tr != nil {
+		ph = e.phaseSpan(tr, "freeze+zombies", ph, cleanStart)
+	}
 	e.pool.RunPhase(t, jobs)
 	// Wait only for infrastructure messages: the allocation-bitmap state
 	// must be final before metafiles are cleaned, but the tetris write
 	// I/Os keep flowing underneath the metafile phases.
 	e.in.DrainOps(t)
 	e.stats.CleanDuration += sim.Duration(t.Now() - cleanStart)
+	if tr != nil {
+		ph = e.phaseSpan(tr, "clean", ph, t.Now())
+		tr.Observe("cp.clean", int64(t.Now()-cleanStart))
+	}
 
 	// Phase 3: inode records. Roots are final; serialize the records into
 	// the inode files.
@@ -182,6 +209,10 @@ func (e *Engine) runCP(t *sim.Thread) {
 			e.stats.RecordsWritten++
 		}
 		e.stats.InodesCleaned += uint64(len(frozen[v.ID()]))
+	}
+
+	if tr != nil {
+		ph = e.phaseSpan(tr, "records", ph, t.Now())
 	}
 
 	// Phase 4: volume metafiles (inode file, container map, volume
@@ -196,6 +227,9 @@ func (e *Engine) runCP(t *sim.Thread) {
 		}
 	}
 	e.pool.RunPhase(t, metaJobs)
+	if tr != nil {
+		ph = e.phaseSpan(tr, "metafiles", ph, t.Now())
+	}
 
 	// Phase 5: volume table.
 	e.a.WriteVolumeEntries()
@@ -203,6 +237,9 @@ func (e *Engine) runCP(t *sim.Thread) {
 		e.pool.RunPhase(t, []*core.Job{{Files: []*fs.File{e.a.VolTableFile()}, Mode: core.JobFull}})
 	}
 	e.in.DrainOps(t)
+	if tr != nil {
+		ph = e.phaseSpan(tr, "voltable", ph, t.Now())
+	}
 
 	// Phase 6: the self-referential aggregate activemap, via the
 	// fixed-point flush planner; then wait for every outstanding write
@@ -218,6 +255,10 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.issueAmapWrites(t, writes)
 	e.in.DrainIO(t)
 	e.stats.MetaDuration += sim.Duration(t.Now() - metaStart)
+	if tr != nil {
+		ph = e.phaseSpan(tr, "amap flush", ph, t.Now())
+		tr.Observe("cp.meta", int64(t.Now()-metaStart))
+	}
 
 	// Phase 7: commit. The superblock overwrite is the atomic transition
 	// to the new file system tree; afterwards the NVRAM half that fed
@@ -227,6 +268,12 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.log.FreeFrozen()
 	e.in.EndCP()
 
+	if tr != nil {
+		e.phaseSpan(tr, "commit", ph, t.Now())
+		tr.SpanArg(obs.PidCP, e.track(tr), "cp", "CP", int64(start), int64(t.Now()),
+			int64(e.a.CPCount()))
+		tr.Observe("cp.total", int64(t.Now()-start))
+	}
 	d := sim.Duration(t.Now() - start)
 	e.stats.CPs++
 	e.stats.TotalDuration += d

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" consumed by chrome://tracing and Perfetto).
+// Timestamps and durations are in microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int32          `json:"pid"`
+	Tid  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level export document.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts simulated nanoseconds to trace microseconds.
+func usec(t Time) float64 { return float64(t) / 1e3 }
+
+// WriteChromeTrace writes the buffered events as Chrome trace-event JSON:
+// process/thread metadata first (process per subsystem, track per core,
+// thread, affinity, or drive), then the events sorted by timestamp (ties
+// broken longest-span-first so enclosing spans precede their children).
+// The output loads directly in Perfetto or chrome://tracing.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	if tr == nil {
+		_, err := w.Write([]byte(`{"traceEvents":[],"displayTimeUnit":"ms"}`))
+		return err
+	}
+	events := tr.Events()
+	out := make([]chromeEvent, 0, len(events)+4*len(tr.tracks))
+
+	// Metadata: name each process and its tracks, in deterministic order.
+	pids := make([]int32, 0, len(tr.tracks))
+	for pid := range tr.tracks {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		pname := processNames[pid]
+		if pname == "" {
+			pname = "process"
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": pname},
+		}, chromeEvent{
+			Name: "process_sort_index", Ph: "M", Pid: pid,
+			Args: map[string]any{"sort_index": pid},
+		})
+		for tid, name := range tr.tracks[pid].names {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: int32(tid),
+				Args: map[string]any{"name": name},
+			}, chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: int32(tid),
+				Args: map[string]any{"sort_index": tid},
+			})
+		}
+	}
+
+	// Events, chronological. The ring is append-ordered by emission time,
+	// but spans are emitted at their *end* — sort by start so the file is
+	// timestamp-ordered.
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Dur > events[j].Dur
+	})
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name, Cat: e.Cat, Pid: e.Pid, Tid: e.Tid, Ts: usec(e.Start),
+		}
+		switch e.Ph {
+		case PhaseSpan:
+			ce.Ph = "X"
+			d := usec(e.Dur)
+			ce.Dur = &d
+			if e.HasArg {
+				ce.Args = map[string]any{"value": e.Arg}
+			}
+		case PhaseInstant:
+			ce.Ph = "i"
+			ce.S = "t"
+			if e.HasArg {
+				ce.Args = map[string]any{"value": e.Arg}
+			}
+		case PhaseCounter:
+			ce.Ph = "C"
+			ce.Args = map[string]any{e.Name: e.Arg}
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram accumulates int64 samples (latencies in nanoseconds, sizes in
+// blocks) into log-linear buckets: exact below 2^subBits, then subCount
+// sub-buckets per power of two — the classic HDR layout. Memory is O(1),
+// recording is O(1), and quantiles are exact to within 1/subCount relative
+// error, which is deterministic across runs (no sampling).
+type Histogram struct {
+	Name  string
+	Count uint64
+	Sum   int64
+	Min   int64
+	Max   int64
+
+	buckets []uint64
+}
+
+const (
+	subBits  = 4
+	subCount = 1 << subBits // 16 sub-buckets per octave
+	// maxBuckets covers the full non-negative int64 range.
+	maxBuckets = subCount + (63-subBits)*subCount
+)
+
+func newHistogram(name string) *Histogram {
+	return &Histogram{Name: name, buckets: make([]uint64, maxBuckets)}
+}
+
+// bucketOf maps a non-negative sample to its bucket index: exact for
+// v < subCount, then the octave [2^e, 2^(e+1)) splits into subCount
+// sub-buckets of width 2^(e-subBits).
+func bucketOf(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // 2^exp <= v < 2^(exp+1)
+	top := int(v>>(uint(exp-subBits))) - subCount
+	return subCount + (exp-subBits)*subCount + top
+}
+
+// bucketUpper returns the largest sample value the bucket can hold.
+func bucketUpper(b int) int64 {
+	if b < subCount {
+		return int64(b)
+	}
+	octave := (b - subCount) / subCount
+	top := (b - subCount) % subCount
+	return (int64(subCount+top+1) << uint(octave)) - 1
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty histogram.
+func (h *Histogram) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / int64(h.Count)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) as the upper bound of the
+// bucket containing it, clamped to the observed [Min, Max]. An empty
+// histogram returns 0; a single-sample histogram returns that sample
+// exactly.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	if target > h.Count {
+		target = h.Count
+	}
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			v := bucketUpper(b)
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+	}
+	return h.Max
+}
+
+// String renders the histogram as one summary line.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s: n=%d avg=%s p50=%s p95=%s p99=%s max=%s",
+		h.Name, h.Count, fmtNanos(h.Mean()),
+		fmtNanos(h.Quantile(0.50)), fmtNanos(h.Quantile(0.95)),
+		fmtNanos(h.Quantile(0.99)), fmtNanos(h.Max))
+}
+
+// fmtNanos renders a nanosecond quantity with a human unit (histograms
+// overwhelmingly hold simulated durations).
+func fmtNanos(v int64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(v)/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(v)/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3fus", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+// HistogramReport renders every histogram, one per line, in
+// first-observation order.
+func (tr *Tracer) HistogramReport() string {
+	if tr == nil || len(tr.histOrder) == 0 {
+		return "no histograms recorded"
+	}
+	var b strings.Builder
+	for _, name := range tr.histOrder {
+		b.WriteString(tr.hists[name].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

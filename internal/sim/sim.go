@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"wafl/internal/obs"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of the
@@ -124,7 +126,39 @@ type Scheduler struct {
 	live     int       // live (not yet finished) threads
 	threads  []*Thread // every thread ever spawned (for Shutdown)
 	poisoned bool      // Shutdown in progress: resumed threads unwind
+
+	// tr is the observability spine; nil means tracing is disabled and
+	// every emission point reduces to one pointer comparison.
+	tr *obs.Tracer
+	// freeCoreIDs assigns stable core identities to bursts so the trace
+	// can render one lane per core; maintained only while tracing.
+	freeCoreIDs []int32
 }
+
+// SetTracer attaches an observability tracer (nil disables tracing). It
+// must be called before the simulation starts executing CPU bursts —
+// in practice, immediately after New — so core lanes get stable
+// identities. The tracer never influences simulation behaviour: results
+// are bit-identical with tracing on or off.
+func (s *Scheduler) SetTracer(tr *obs.Tracer) {
+	s.tr = tr
+	s.freeCoreIDs = nil
+	if tr == nil {
+		return
+	}
+	for i := 0; i < s.cores; i++ {
+		tr.Track(obs.PidCores, fmt.Sprintf("core%d", i))
+	}
+	// Stack lowest-id on top; trim to the currently free cores if bursts
+	// are somehow already in flight.
+	for i := s.freeCores - 1; i >= 0; i-- {
+		s.freeCoreIDs = append(s.freeCoreIDs, int32(i))
+	}
+}
+
+// Tracer returns the attached tracer, or nil when tracing is off. Every
+// subsystem reaches the observability layer through this accessor.
+func (s *Scheduler) Tracer() *obs.Tracer { return s.tr }
 
 // Shutdown terminates every simulated thread so the scheduler and all state
 // reachable from thread goroutines become garbage-collectable. The
@@ -289,6 +323,16 @@ func (s *Scheduler) runThread(t *Thread) {
 // startBurst begins t's pending CPU burst now; completion is an event.
 func (s *Scheduler) startBurst(t *Thread) {
 	t.burstStart = s.now
+	if s.tr != nil {
+		if t.queuedAt >= 0 {
+			s.tr.Observe("sim.runq_wait", int64(s.now-t.queuedAt))
+			t.queuedAt = -1
+		}
+		if n := len(s.freeCoreIDs); n > 0 {
+			t.burstCore = s.freeCoreIDs[n-1]
+			s.freeCoreIDs = s.freeCoreIDs[:n-1]
+		}
+	}
 	s.post(s.now+Time(t.burstDur), func() { s.finishBurst(t) })
 }
 
@@ -298,6 +342,12 @@ func (s *Scheduler) finishBurst(t *Thread) {
 	s.freeCores++
 	s.busy[t.burstCat] += t.burstDur
 	t.busy += t.burstDur
+	if s.tr != nil && t.burstCore >= 0 {
+		s.tr.Span(obs.PidCores, t.burstCore, t.burstCat.String(), t.name,
+			int64(t.burstStart), int64(s.now))
+		s.freeCoreIDs = append(s.freeCoreIDs, t.burstCore)
+		t.burstCore = -1
+	}
 	if len(s.readyQ) > 0 {
 		next := s.readyQ[0]
 		copy(s.readyQ, s.readyQ[1:])

@@ -1,5 +1,7 @@
 package sim
 
+import "wafl/internal/obs"
+
 // Mutex is a simulated lock with FIFO waiters. Because the kernel serializes
 // all simulated execution, Mutex exists to model blocking and contention —
 // and to measure them — rather than to provide memory safety.
@@ -35,6 +37,10 @@ func (m *Mutex) Lock(t *Thread) {
 	t.park()
 	// Ownership was transferred to us by Unlock before we were resumed.
 	m.WaitTime += Duration(m.s.now - start)
+	if tr := m.s.tr; tr != nil {
+		tr.Span(obs.PidThreads, t.TrackID(), "sync", "lock:"+m.name, int64(start), int64(m.s.now))
+		tr.Observe("mutex.wait:"+m.name, int64(m.s.now-start))
+	}
 }
 
 // TryLock acquires the mutex if it is free and reports whether it did.
@@ -84,8 +90,13 @@ func NewWaitQueue(s *Scheduler, name string) *WaitQueue {
 // Wait parks t on the queue until a Signal or Broadcast wakes it.
 func (q *WaitQueue) Wait(t *Thread) {
 	q.Waits++
+	start := q.s.now
 	q.waiters = append(q.waiters, t)
 	t.park()
+	if tr := q.s.tr; tr != nil {
+		tr.Span(obs.PidThreads, t.TrackID(), "sync", "wait:"+q.name, int64(start), int64(q.s.now))
+		tr.Observe("waitq.block:"+q.name, int64(q.s.now-start))
+	}
 }
 
 // WaitWith atomically releases m, parks t, and re-acquires m before

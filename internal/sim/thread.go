@@ -1,5 +1,7 @@
 package sim
 
+import "wafl/internal/obs"
+
 // Thread is a simulated thread of execution. It is backed by a goroutine,
 // but the kernel guarantees at most one simulated thread executes at any
 // real instant, so thread bodies may freely read and write shared simulation
@@ -21,6 +23,11 @@ type Thread struct {
 	busy   Duration // cumulative CPU consumed by this thread
 	done   bool
 	killed bool // KillFrom: unwind at next resume
+
+	// tracing bookkeeping (inert unless a tracer is attached)
+	burstCore int32 // core lane of the burst in flight, -1 if unassigned
+	queuedAt  Time  // when the thread entered the ready queue, -1 if not
+	obsTid    int32 // interned obs track id + 1; 0 means not yet interned
 }
 
 // killSentinel is the panic value used to unwind poisoned threads during
@@ -30,10 +37,12 @@ type killSentinel struct{}
 // spawn builds a thread and its goroutine, scheduled to start at time at.
 func (s *Scheduler) spawn(at Time, name string, cat Category, fn func(*Thread)) *Thread {
 	t := &Thread{
-		s:      s,
-		name:   name,
-		cat:    cat,
-		resume: make(chan struct{}),
+		s:         s,
+		name:      name,
+		cat:       cat,
+		resume:    make(chan struct{}),
+		burstCore: -1,
+		queuedAt:  -1,
 	}
 	s.live++
 	s.threads = append(s.threads, t)
@@ -74,6 +83,19 @@ func (s *Scheduler) GoAt(at Time, name string, cat Category, fn func(*Thread)) *
 
 // Name returns the thread's debug name.
 func (t *Thread) Name() string { return t.name }
+
+// Tracer returns the scheduler's tracer (nil when tracing is off). Upper
+// layers use it together with TrackID to emit thread-scoped trace events.
+func (t *Thread) Tracer() *obs.Tracer { return t.s.tr }
+
+// TrackID returns the thread's interned trace track id under
+// obs.PidThreads, registering it (by thread name) on first use.
+func (t *Thread) TrackID() int32 {
+	if t.obsTid == 0 {
+		t.obsTid = t.s.tr.Track(obs.PidThreads, t.name) + 1
+	}
+	return t.obsTid - 1
+}
 
 // Sched returns the scheduler this thread runs on.
 func (t *Thread) Sched() *Scheduler { return t.s }
@@ -124,6 +146,9 @@ func (t *Thread) ConsumeAs(cat Category, d Duration) {
 		s.freeCores--
 		s.startBurst(t)
 	} else {
+		if s.tr != nil {
+			t.queuedAt = s.now
+		}
 		s.readyQ = append(s.readyQ, t)
 	}
 	t.park()

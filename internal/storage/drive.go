@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"wafl/internal/block"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 )
 
@@ -66,7 +67,16 @@ type Drive struct {
 
 	busyUntil sim.Time
 	epoch     uint64 // bumped by DropInFlight; stale completions are discarded
+	obsTid    int32  // interned trace track id + 1; 0 = unset
 	stats     Stats
+}
+
+// track returns the drive's trace track id, interning it on first use.
+func (d *Drive) track(tr *obs.Tracer) int32 {
+	if d.obsTid == 0 {
+		d.obsTid = tr.Track(obs.PidStorage, d.name) + 1
+	}
+	return d.obsTid - 1
 }
 
 // NewDrive creates a drive of nblocks blocks with the given service profile.
@@ -93,8 +103,8 @@ func (d *Drive) Profile() Profile { return d.profile }
 func (d *Drive) Stats() Stats { return d.stats }
 
 // service reserves the drive for an I/O of n blocks and returns its
-// completion time.
-func (d *Drive) service(n int) sim.Time {
+// completion time. kind labels the trace span ("read"/"write").
+func (d *Drive) service(n int, kind string) sim.Time {
 	start := d.s.Now()
 	if d.busyUntil > start {
 		start = d.busyUntil
@@ -102,6 +112,11 @@ func (d *Drive) service(n int) sim.Time {
 	dur := d.profile.PerIO + sim.Duration(n)*d.profile.PerBlock
 	d.busyUntil = start + sim.Time(dur)
 	d.stats.BusyTime += dur
+	if tr := d.s.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidStorage, d.track(tr), "io", kind, int64(start), int64(d.busyUntil), int64(n))
+		tr.Observe("storage.io_service:"+kind, int64(dur))
+		tr.Observe("storage.io_latency:"+kind, int64(d.busyUntil-d.s.Now()))
+	}
 	return d.busyUntil
 }
 
@@ -119,7 +134,7 @@ func (d *Drive) Write(reqs []WriteReq, done func()) {
 			panic(fmt.Sprintf("storage: write beyond device %s: dbn %d >= %d", d.name, r.DBN, d.nblocks))
 		}
 	}
-	completion := d.service(len(reqs))
+	completion := d.service(len(reqs), "write")
 	d.stats.WriteIOs++
 	d.stats.BlocksWritten += uint64(len(reqs))
 	// Capture the request slice; payloads are immutable by contract.
@@ -148,7 +163,7 @@ func (d *Drive) Read(dbns []block.DBN, done func([][]byte)) {
 		}
 		return
 	}
-	completion := d.service(len(dbns))
+	completion := d.service(len(dbns), "read")
 	d.stats.ReadIOs++
 	d.stats.BlocksRead += uint64(len(dbns))
 	ds := append([]block.DBN(nil), dbns...)

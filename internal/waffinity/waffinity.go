@@ -20,6 +20,7 @@ package waffinity
 import (
 	"fmt"
 
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 )
 
@@ -76,9 +77,30 @@ type Affinity struct {
 
 	pending []*message // FIFO queue of not-yet-dispatched messages
 
+	obsTid int32 // interned trace track id + 1; 0 when not yet interned
+
 	// cumulative statistics
 	Executed  uint64       // messages completed
 	QueueWait sim.Duration // total time messages waited for dispatch
+}
+
+// track returns the affinity's trace track id under obs.PidAffinity,
+// interning its name on first use.
+func (a *Affinity) track(tr *obs.Tracer) int32 {
+	if a.obsTid == 0 {
+		a.obsTid = tr.Track(obs.PidAffinity, a.name) + 1
+	}
+	return a.obsTid - 1
+}
+
+// msgNames caches a span name per accounting category so the hot dispatch
+// path does not concatenate strings.
+var msgNames [sim.NumCategories]string
+
+func init() {
+	for c := sim.Category(0); c < sim.NumCategories; c++ {
+		msgNames[c] = c.String() + " msg"
+	}
 }
 
 // Name returns the affinity's debug name.
@@ -171,6 +193,11 @@ func (w *Scheduler) Send(aff *Affinity, cat sim.Category, fn func(*sim.Thread), 
 	w.queued++
 	if w.queued > w.stats.MaxQueued {
 		w.stats.MaxQueued = w.queued
+	}
+	if tr := w.s.Tracer(); tr != nil {
+		now := int64(w.s.Now())
+		tr.InstantArg(obs.PidAffinity, aff.track(tr), "waffinity", "enqueue", now, int64(len(aff.pending)))
+		tr.Counter(obs.PidAffinity, 0, "queued msgs", now, int64(w.queued))
 	}
 	w.idle.Signal()
 }
@@ -269,7 +296,8 @@ func (w *Scheduler) workerLoop(t *sim.Thread) {
 			continue
 		}
 		start(m.aff)
-		m.aff.QueueWait += sim.Duration(w.s.Now() - m.enqueued)
+		dispatchAt := w.s.Now()
+		m.aff.QueueWait += sim.Duration(dispatchAt - m.enqueued)
 		if w.dispatch > 0 {
 			t.ConsumeAs(sim.CatWaffinity, w.dispatch)
 		}
@@ -279,6 +307,13 @@ func (w *Scheduler) workerLoop(t *sim.Thread) {
 		finish(m.aff)
 		m.aff.Executed++
 		w.stats.Executed++
+		if tr := w.s.Tracer(); tr != nil {
+			// The affinity's exclusion guarantee means execution spans on
+			// one affinity track never overlap.
+			tr.SpanArg(obs.PidAffinity, m.aff.track(tr), m.cat.String(), msgNames[m.cat],
+				int64(dispatchAt), int64(w.s.Now()), int64(dispatchAt-m.enqueued))
+			tr.Observe("waffinity.queue_wait", int64(dispatchAt-m.enqueued))
+		}
 		if m.done != nil {
 			m.done()
 		}

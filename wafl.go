@@ -27,12 +27,14 @@ package wafl
 
 import (
 	"fmt"
+	"io"
 
 	"wafl/internal/aggregate"
 	"wafl/internal/block"
 	"wafl/internal/core"
 	"wafl/internal/cp"
 	"wafl/internal/nvlog"
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 	"wafl/internal/storage"
 	"wafl/internal/waffinity"
@@ -56,6 +58,11 @@ type (
 	TunerConfig = core.TunerConfig
 	// AAPolicy selects the Allocation Area selection policy.
 	AAPolicy = core.AAPolicy
+	// Tracer is the observability spine: trace events, latency histograms,
+	// and Chrome-trace export. Nil when tracing is off.
+	Tracer = obs.Tracer
+	// TraceHistogram is one latency histogram recorded by the tracer.
+	TraceHistogram = obs.Histogram
 )
 
 // Allocation Area policies (re-exported).
@@ -133,6 +140,15 @@ type Config struct {
 	// verification matters.
 	PayloadBytes int
 
+	// Trace enables the observability spine: structured trace events and
+	// latency histograms, exportable as Chrome trace JSON (WriteTrace).
+	// Tracing never changes simulation results — runs are bit-identical
+	// with it on or off.
+	Trace bool
+	// TraceEvents bounds the trace ring buffer (events, not bytes); zero
+	// selects the default capacity. Oldest events drop first.
+	TraceEvents int
+
 	Allocator AllocatorOptions
 	Costs     CostModel
 	Tuner     TunerConfig
@@ -193,6 +209,9 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("wafl: need at least one core")
 	}
 	s := sim.New(cfg.Cores, cfg.Seed)
+	if cfg.Trace {
+		s.SetTracer(obs.New(obs.Options{Capacity: cfg.TraceEvents}))
+	}
 	threadMark := s.ThreadMark()
 	w := waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
 	h := waffinity.NewHierarchy(w, waffinity.HierarchyConfig{
@@ -255,6 +274,22 @@ func (sys *System) Shutdown() {
 
 // Now returns the current simulated time.
 func (sys *System) Now() Time { return sys.s.Now() }
+
+// Tracer returns the observability tracer, or nil when Config.Trace is off.
+func (sys *System) Tracer() *Tracer { return sys.s.Tracer() }
+
+// WriteTrace writes the buffered trace events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. With tracing
+// off it writes an empty, still-valid trace document.
+func (sys *System) WriteTrace(w io.Writer) error {
+	return sys.s.Tracer().WriteChromeTrace(w)
+}
+
+// TraceReport renders the tracer's latency histograms (p50/p95/p99 per
+// metric), or "" when tracing is off.
+func (sys *System) TraceReport() string {
+	return sys.s.Tracer().HistogramReport()
+}
 
 // Stop makes client loops exit at their next Alive check.
 func (sys *System) Stop() { sys.stopped = true }
