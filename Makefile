@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench ci clean
+.PHONY: all build test vet race bench crashcheck ci clean
 
 all: build
 
@@ -19,9 +19,15 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# ci is the gate run before merging: vet, build, and the full test suite
-# under the race detector.
-ci: vet build race
+# crashcheck runs the bounded crash-schedule fault-injection sweep: crash at
+# dozens of reproducible points (event indices + CP phase boundaries),
+# recover, fsck, and verify every acknowledged op — twice, via double crash.
+crashcheck:
+	$(GO) run ./cmd/waflbench -crashsweep -crashpoints 8 -crashseeds 1,2 -crashphases 9
+
+# ci is the gate run before merging: vet, build, the full test suite under
+# the race detector, and the bounded crash sweep.
+ci: vet build race crashcheck
 
 clean:
 	rm -f wafltop waflbench *.test

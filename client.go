@@ -76,11 +76,13 @@ func (sys *System) payload(ino uint64, fbn FBN, tag byte) []byte {
 }
 
 // reserveLog reserves NVRAM space for an op's records, stalling the client
-// (and requesting CPs) until space frees up. Returns the stall time.
-func (c *ClientCtx) reserveLog(bytes uint64) Duration {
+// (and requesting CPs) until space frees up. Returns the op's reservation
+// and the stall time.
+func (c *ClientCtx) reserveLog(bytes uint64) (*nvlog.Reservation, Duration) {
 	sys := c.sys
 	var stalled Duration
-	for !sys.log.Reserve(bytes) {
+	res, ok := sys.log.Reserve(bytes)
+	for !ok {
 		// Back-to-back CP: both halves occupied. Wait for the running CP.
 		start := c.t.Now()
 		c.Stalled++
@@ -93,8 +95,9 @@ func (c *ClientCtx) reserveLog(bytes uint64) Duration {
 				int64(start), int64(c.t.Now()))
 			tr.Observe("client.stall", int64(c.t.Now()-start))
 		}
+		res, ok = sys.log.Reserve(bytes)
 	}
-	return stalled
+	return res, stalled
 }
 
 // Write performs one client write of nblocks 4 KiB blocks at fbn: it logs
@@ -116,7 +119,7 @@ func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 	// the records themselves are appended inside the stripe messages,
 	// immediately adjacent to dirtying each buffer, so a record and its
 	// dirty state always land in the same CP generation.
-	stalled := c.reserveLog(recBytes)
+	res, stalled := c.reserveLog(recBytes)
 	// Group contiguous blocks by owning stripe affinity: one message each.
 	v := sys.a.Volume(vol)
 	for lo := 0; lo < nblocks; {
@@ -139,7 +142,7 @@ func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 				v.EnsureL0Resident(f, fbn+FBN(b))
 				// Log + dirty with no simulation primitive in between:
 				// atomic with respect to CP freezes.
-				sys.log.AppendReserved(nvlog.Record{
+				res.Append(nvlog.Record{
 					Kind: nvlog.OpWrite, Vol: uint32(vol), Ino: ino,
 					FBN: fbn + FBN(b), Data: blocks[b], LogicalBytes: block.Size,
 				})
@@ -149,6 +152,7 @@ func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 		})
 		lo = hi
 	}
+	res.Release()
 	if !sys.log.HasFrozen() {
 		sys.maybeTriggerCP()
 	}

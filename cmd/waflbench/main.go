@@ -9,6 +9,7 @@
 //	waflbench -exp fig4       # one experiment: fig4..fig9, batch, ablations
 //	waflbench -window 400ms   # measurement window
 //	waflbench -exp fig4 -trace fig4   # dump fig4-NNN.json Perfetto timelines
+//	waflbench -crashsweep     # crash-schedule fault-injection sweep (§II-C)
 package main
 
 import (
@@ -30,7 +31,16 @@ func main() {
 	cleaners := flag.Int("cleaners", 4, "parallel cleaner-thread count for the permutation experiments")
 	trace := flag.String("trace", "", "dump one Chrome trace JSON per measurement as <prefix>-NNN.json")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
+	crashsweep := flag.Bool("crashsweep", false, "run the crash-schedule fault-injection sweep instead of the figures")
+	crashPoints := flag.Int("crashpoints", 8, "crashsweep: event-index crash points per seed")
+	crashSeeds := flag.String("crashseeds", "1,2", "crashsweep: comma-separated workload seeds")
+	crashPhases := flag.Int("crashphases", 9, "crashsweep: CP phase-boundary crash points (0 = off)")
 	flag.Parse()
+
+	if *crashsweep {
+		runCrashSweep(*crashPoints, *crashSeeds, *crashPhases)
+		return
+	}
 
 	if *trace != "" {
 		harness.EnableTracing(*trace, *traceEvents)
@@ -91,6 +101,42 @@ func main() {
 		t, err := harness.Ablations(rc)
 		return t, err
 	})
+}
+
+// runCrashSweep executes the crash-schedule sweep and exits nonzero if any
+// crash point fails verification.
+func runCrashSweep(points int, seeds string, phases int) {
+	cfg := harness.DefaultCrashSweep()
+	cfg.Points = points
+	cfg.Phases = phases
+	cfg.Seeds = nil
+	for _, s := range strings.Split(seeds, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var seed int64
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			fmt.Fprintf(os.Stderr, "crashsweep: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		cfg.Seeds = append(cfg.Seeds, seed)
+	}
+	if len(cfg.Seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "crashsweep: no seeds")
+		os.Exit(2)
+	}
+	start := time.Now()
+	tab, res, err := harness.CrashSweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crashsweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab.String())
+	fmt.Printf("(crashsweep took %.1fs host time)\n", time.Since(start).Seconds())
+	if !res.OK() {
+		os.Exit(1)
+	}
 }
 
 // inspect runs one workload/config pair and dumps detailed internals —

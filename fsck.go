@@ -126,33 +126,46 @@ func (sys *System) Fsck() FsckReport {
 					r.ContainerErrs++
 					r.Errors = appendCapped(r.Errors, fmt.Sprintf("%s fbn %d: container[%v]=%v want %v", tag, idx, vvbn, got, vbn))
 				}
-				if !v.Activemap.IsSet(uint64(vvbn)) {
-					r.VVBNErrs++
-					r.Errors = appendCapped(r.Errors, fmt.Sprintf("%s fbn %d: vvbn %v not marked used", tag, idx, vvbn))
-				}
 				vvbnUsed[vvbn] = true
 			})
 			// Dual-addressed indirect blocks also occupy VVBNs.
 			collectIndirectVVBNs(m, f, vvbnUsed)
 		}
-		// Every used VVBN bit must be referenced by some tree.
-		used := v.Activemap.Used()
-		if uint64(len(vvbnUsed)) != used {
-			r.VVBNErrs += used - uint64(len(vvbnUsed))
-			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: %d vvbn bits used, %d referenced", v.ID(), used, len(vvbnUsed)))
+		// Cross-check the volume activemap against the referenced set
+		// bit by bit: a set bit nobody references is a leaked VVBN, a
+		// referenced VVBN whose bit is clear is corruption. Counting by
+		// subtraction (used − referenced) underflowed when references
+		// outnumbered used bits, and let the two error directions cancel.
+		for bn := uint64(0); bn < v.VVBNBlocks(); bn++ {
+			set := v.Activemap.IsSet(bn)
+			refd := vvbnUsed[block.VVBN(bn)]
+			switch {
+			case set && !refd:
+				r.VVBNErrs++
+				r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: vvbn %d marked used but unreferenced", v.ID(), bn))
+			case !set && refd:
+				r.VVBNErrs++
+				r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: vvbn %d referenced but not marked used", v.ID(), bn))
+			}
 		}
 	}
 
 	r.ReferencedBlocks = uint64(len(refs))
 	r.UsedBits = m.Activemap.Used()
-	for vbn := range refs {
-		if !m.Activemap.IsSet(uint64(vbn)) {
+	// Same per-bit cross-check for the aggregate activemap: leaks and
+	// missing references must be counted independently, not derived from
+	// the difference of two totals (where they cancel pairwise).
+	for bn := uint64(0); bn < geo.TotalBlocks(); bn++ {
+		set := m.Activemap.IsSet(bn)
+		refd := refs[block.VBN(bn)] > 0
+		switch {
+		case set && !refd:
+			r.Leaked++
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vbn %d marked used but unreachable", bn))
+		case !set && refd:
 			r.Missing++
-			r.Errors = appendCapped(r.Errors, fmt.Sprintf("referenced %v not marked used", vbn))
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("referenced vbn %d not marked used", bn))
 		}
-	}
-	if r.UsedBits > r.ReferencedBlocks {
-		r.Leaked = r.UsedBits - r.ReferencedBlocks
 	}
 	return r
 }

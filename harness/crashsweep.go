@@ -1,0 +1,391 @@
+package harness
+
+import (
+	"fmt"
+
+	"wafl"
+)
+
+// CrashSweepConfig parameterizes a crash-schedule sweep: a seeded workload
+// is run to completion once to learn its event-index span, then re-run and
+// crashed at evenly spaced event indices (and, optionally, at CP phase
+// boundaries). After every crash the system is recovered, checked with
+// Fsck, and every acknowledged operation is verified against the data
+// oracle; then the *recovered* system is crashed again before it can run —
+// the double-crash that catches NVRAM-protection bugs — and re-verified.
+type CrashSweepConfig struct {
+	// Base is the system configuration, including the fault plan
+	// (Base.Faults). Base.Seed is overridden by Seeds.
+	Base wafl.Config
+	// Seeds are the workload seeds swept; every seed gets its own set of
+	// crash points.
+	Seeds []int64
+	// Points is how many evenly spaced event-index crash points to sweep
+	// per seed.
+	Points int
+	// Phases, when > 0, additionally crashes at the first Phases CP
+	// phase-boundary hits of the first seed's run (a CP has nine
+	// boundaries, so Phases = 9 covers one full CP, 18 two, ...).
+	Phases int
+	// Clients and OpsPerClient bound the workload.
+	Clients      int
+	OpsPerClient int
+	// BaseBlocks is the size of each client's preallocated base file.
+	BaseBlocks int64
+	// MaxRun bounds one simulated run segment.
+	MaxRun wafl.Duration
+}
+
+// DefaultCrashSweep returns a bounded sweep sized for CI: a small server,
+// two seeds, torn writes + delayed completions + transient read errors.
+func DefaultCrashSweep() CrashSweepConfig {
+	cfg := wafl.DefaultConfig()
+	cfg.Cores = 8
+	cfg.RAIDGroups = 2
+	cfg.DataDrives = 3
+	cfg.DriveBlocks = 16384
+	cfg.AAStripes = 1024
+	cfg.Volumes = 2
+	cfg.VolumeBlocks = 1 << 15
+	cfg.NVRAMHalfBytes = 512 << 10
+	cfg.StripesPerVolume = 8
+	cfg.RangesPerVBN = 4
+	cfg.PayloadBytes = 4096 // byte-exact content verification
+	cfg.Allocator.MaxCleaners = 4
+	cfg.Allocator.InitialCleaners = 2
+	cfg.Faults = wafl.FaultConfig{
+		TornWriteEvery:  3,
+		TornWritePrefix: -1,
+		DelayWriteEvery: 7,
+		DelayReadEvery:  5,
+		Delay:           200 * wafl.Microsecond,
+		ReadErrEvery:    9,
+	}
+	return CrashSweepConfig{
+		Base:         cfg,
+		Seeds:        []int64{1, 2},
+		Points:       8,
+		Phases:       9,
+		Clients:      4,
+		OpsPerClient: 200,
+		BaseBlocks:   512,
+		MaxRun:       2 * wafl.Second,
+	}
+}
+
+// CrashSweepResult is the machine-readable sweep outcome.
+type CrashSweepResult struct {
+	PointsRun int      // crash points actually exercised (incl. phase points)
+	Failures  []string // verification/fsck failures, capped
+}
+
+// OK reports whether every swept crash point passed.
+func (r CrashSweepResult) OK() bool { return len(r.Failures) == 0 }
+
+// ackOp is one acknowledged client operation, recorded host-side the
+// instant the simulated call returns (so it is exactly the set of ops the
+// crash contract §II-C covers). Kind 'D' is a delete *intent*, recorded
+// before the delete is issued: a crash can land after the delete applied
+// and logged but before the client saw the ack, in which case the op may
+// legitimately have survived — the contract only binds acknowledged ops.
+type ackOp struct {
+	kind byte // 'w' write, 'c' create, 'd' delete, 'D' delete intent
+	vol  int
+	ino  uint64
+	fbn  wafl.FBN
+	n    int
+}
+
+// ackLog collects acknowledged operations and workload progress. The
+// simulation serializes client threads, so no locking is needed.
+type ackLog struct {
+	ops  []ackOp
+	done int // clients finished
+}
+
+// sweepWorkload attaches the oracle workload: per client, a mix of writes
+// to a preallocated base file, creates (immediately written), deletes of
+// the client's own earlier creates, and getattrs. Inodes are never reused
+// and base files are never deleted, so replay verification is exact.
+func sweepWorkload(sys *wafl.System, cfg CrashSweepConfig, base []uint64, ack *ackLog) {
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		vol := i % cfg.Base.Volumes
+		ino := base[i]
+		sys.ClientThread(fmt.Sprintf("sweep-%d", i), func(c *wafl.ClientCtx) {
+			var mine []uint64 // own created files, oldest first
+			for op := 0; op < cfg.OpsPerClient && c.Alive(); op++ {
+				r := c.Rand(10)
+				switch {
+				case r < 7:
+					fbn := wafl.FBN(c.Rand(cfg.BaseBlocks - 4))
+					n := 1 + int(c.Rand(4))
+					c.Write(vol, ino, fbn, n)
+					ack.ops = append(ack.ops, ackOp{'w', vol, ino, fbn, n})
+				case r == 7:
+					f := c.Create(vol, 64)
+					ack.ops = append(ack.ops, ackOp{'c', vol, f, 0, 0})
+					c.Write(vol, f, 0, 1)
+					ack.ops = append(ack.ops, ackOp{'w', vol, f, 0, 1})
+					mine = append(mine, f)
+				case r == 8 && len(mine) > 0:
+					f := mine[0]
+					mine = mine[1:]
+					ack.ops = append(ack.ops, ackOp{'D', vol, f, 0, 0})
+					if c.Delete(vol, f) {
+						ack.ops = append(ack.ops, ackOp{'d', vol, f, 0, 0})
+					}
+				default:
+					c.Getattr(vol, ino)
+				}
+			}
+			ack.done++
+		})
+	}
+}
+
+// buildSweepSystem constructs a system for one sweep run: base files are
+// created and committed (so their inode records are on media before any
+// logged write references them), then the workload clients attach. The
+// returned event index marks the start of the crashable region.
+func buildSweepSystem(cfg CrashSweepConfig, seed int64) (*wafl.System, *ackLog, uint64, error) {
+	c := cfg.Base
+	c.Seed = seed
+	sys, err := wafl.NewSystem(c)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	base := make([]uint64, cfg.Clients)
+	for i := range base {
+		base[i] = sys.CreateFileDirect(i%c.Volumes, uint64(cfg.BaseBlocks))
+	}
+	if err := sys.Flush(); err != nil {
+		sys.Shutdown()
+		return nil, nil, 0, fmt.Errorf("setup flush: %w", err)
+	}
+	ack := &ackLog{}
+	sweepWorkload(sys, cfg, base, ack)
+	return sys, ack, sys.Events(), nil
+}
+
+// verifyAcked checks every acknowledged operation against the system: a
+// created-and-not-deleted file exists, a deleted file does not, and every
+// write to a live file reads back as the oracle payload.
+func verifyAcked(sys *wafl.System, ops []ackOp, label string, fails []string) []string {
+	type fileKey struct {
+		vol int
+		ino uint64
+	}
+	// intent covers inos whose delete was issued but possibly unacked at
+	// the crash: those may or may not survive, so only the acked-delete
+	// direction is checked for them.
+	intent := make(map[fileKey]bool)
+	deleted := make(map[fileKey]bool)
+	for _, op := range ops {
+		switch op.kind {
+		case 'D':
+			intent[fileKey{op.vol, op.ino}] = true
+		case 'd':
+			deleted[fileKey{op.vol, op.ino}] = true
+		}
+	}
+	add := func(msg string) []string {
+		if len(fails) < 40 {
+			fails = append(fails, msg)
+		}
+		return fails
+	}
+	for _, op := range ops {
+		k := fileKey{op.vol, op.ino}
+		switch op.kind {
+		case 'c':
+			if !intent[k] && !sys.FileExists(op.vol, op.ino) {
+				fails = add(fmt.Sprintf("%s: acked create vol%d ino%d lost", label, op.vol, op.ino))
+			}
+		case 'd':
+			if sys.FileExists(op.vol, op.ino) {
+				fails = add(fmt.Sprintf("%s: acked delete vol%d ino%d resurrected", label, op.vol, op.ino))
+			}
+		case 'w':
+			if intent[k] {
+				continue
+			}
+			for b := 0; b < op.n; b++ {
+				if err := sys.VerifyAgainst(op.vol, op.ino, op.fbn+wafl.FBN(b)); err != nil {
+					fails = add(fmt.Sprintf("%s: acked write lost: %v", label, err))
+					break
+				}
+			}
+		}
+	}
+	return fails
+}
+
+// crashCycle performs the full per-crash-point check on a halted system:
+// crash → recover → verify + fsck, immediately crash the recovered system
+// again (double crash, before it runs) → recover → verify + fsck, then let
+// it quiesce and verify the final committed image. Returns the surviving
+// failure list and the final system (for Shutdown), which may be nil if
+// recovery itself failed.
+func crashCycle(sys *wafl.System, acked []ackOp, label string, fails []string) ([]string, *wafl.System) {
+	sys.Crash()
+	rec, err := sys.Recover()
+	if err != nil {
+		return append(fails, fmt.Sprintf("%s: recovery failed: %v", label, err)), nil
+	}
+	fails = verifyAcked(rec, acked, label+"/recover", fails)
+	if r := rec.Fsck(); !r.OK() {
+		fails = append(fails, fmt.Sprintf("%s/recover: %s", label, r))
+	}
+
+	// Double crash: the recovered system loses power again before a single
+	// event runs. Everything acknowledged before the first crash must
+	// still be protected by the recovered NVRAM log.
+	rec.Crash()
+	rec2, err := rec.Recover()
+	if err != nil {
+		return append(fails, fmt.Sprintf("%s: double-crash recovery failed: %v", label, err)), nil
+	}
+	fails = verifyAcked(rec2, acked, label+"/double", fails)
+	if r := rec2.Fsck(); !r.OK() {
+		fails = append(fails, fmt.Sprintf("%s/double: %s", label, r))
+	}
+
+	// Drain the replayed state to disk and check the committed image.
+	if err := rec2.Quiesce(); err != nil {
+		fails = append(fails, fmt.Sprintf("%s: quiesce: %v", label, err))
+	}
+	fails = verifyAcked(rec2, acked, label+"/quiesced", fails)
+	if r := rec2.Fsck(); !r.OK() {
+		fails = append(fails, fmt.Sprintf("%s/quiesced: %s", label, r))
+	}
+	return fails, rec2
+}
+
+// runWorkload advances sys until every client finished (or the segment
+// budget runs out). Returns false on timeout.
+func runWorkload(sys *wafl.System, cfg CrashSweepConfig, ack *ackLog) bool {
+	for i := 0; i < 64 && ack.done < cfg.Clients; i++ {
+		sys.Run(cfg.MaxRun)
+	}
+	return ack.done >= cfg.Clients
+}
+
+// CrashSweep runs the crash-schedule sweep described by cfg and returns a
+// rendered table plus the machine-readable result.
+func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
+	var res CrashSweepResult
+	tab := Table{
+		ID:      "crashsweep",
+		Title:   "systematic crash/recovery verification (§II-C contract)",
+		Headers: []string{"seed", "mode", "points", "acked ops", "failures"},
+	}
+
+	for _, seed := range cfg.Seeds {
+		// Baseline: learn the crashable event-index span [e0, e1].
+		sys, ack, e0, err := buildSweepSystem(cfg, seed)
+		if err != nil {
+			return tab, res, err
+		}
+		if !runWorkload(sys, cfg, ack) {
+			sys.Shutdown()
+			return tab, res, fmt.Errorf("seed %d: baseline workload did not finish", seed)
+		}
+		e1 := sys.Events()
+		totalOps := len(ack.ops)
+		sys.Shutdown()
+		if e1 <= e0+1 {
+			return tab, res, fmt.Errorf("seed %d: empty crashable region [%d,%d]", seed, e0, e1)
+		}
+
+		// Event-index sweep: evenly spaced points strictly inside (e0, e1).
+		failsBefore := len(res.Failures)
+		for i := 0; i < cfg.Points; i++ {
+			k := e0 + uint64(i+1)*(e1-e0)/uint64(cfg.Points+1)
+			label := fmt.Sprintf("seed%d@event%d", seed, k)
+			sys, ack, _, err := buildSweepSystem(cfg, seed)
+			if err != nil {
+				return tab, res, err
+			}
+			if !sys.RunToEvent(k, 128*cfg.MaxRun) {
+				sys.Shutdown()
+				res.Failures = append(res.Failures, fmt.Sprintf("%s: halt not reached", label))
+				continue
+			}
+			var final *wafl.System
+			res.Failures, final = crashCycle(sys, append([]ackOp(nil), ack.ops...), label, res.Failures)
+			res.PointsRun++
+			if final != nil {
+				final.Shutdown()
+			} else {
+				sys.Shutdown()
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", seed), "event-index", fmt.Sprintf("%d", cfg.Points),
+			fmt.Sprintf("%d", totalOps), fmt.Sprintf("%d", len(res.Failures)-failsBefore),
+		})
+	}
+
+	// CP phase-boundary sweep on the first seed: crash exactly at the j-th
+	// phase boundary hit, for j = 1..Phases.
+	if cfg.Phases > 0 && len(cfg.Seeds) > 0 {
+		seed := cfg.Seeds[0]
+		failsBefore := len(res.Failures)
+		points := 0
+		for j := 1; j <= cfg.Phases; j++ {
+			sys, ack, _, err := buildSweepSystem(cfg, seed)
+			if err != nil {
+				return tab, res, err
+			}
+			hits, target := 0, j
+			var phaseName string
+			sys.SetCPPhaseHook(func(phase string) bool {
+				hits++
+				if hits == target {
+					phaseName = phase
+					sys.RequestHalt()
+					return true
+				}
+				return false
+			})
+			halted := false
+			for i := 0; i < 64 && ack.done < cfg.Clients; i++ {
+				sys.Run(cfg.MaxRun)
+				if sys.Halted() {
+					halted = true
+					break
+				}
+			}
+			if !halted {
+				// The workload finished before its j-th boundary: the
+				// phase space is exhausted.
+				sys.Shutdown()
+				break
+			}
+			label := fmt.Sprintf("seed%d@phase%d(%s)", seed, j, phaseName)
+			var final *wafl.System
+			res.Failures, final = crashCycle(sys, append([]ackOp(nil), ack.ops...), label, res.Failures)
+			res.PointsRun++
+			points++
+			if final != nil {
+				final.Shutdown()
+			} else {
+				sys.Shutdown()
+			}
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", seed), "cp-phase", fmt.Sprintf("%d", points),
+			"-", fmt.Sprintf("%d", len(res.Failures)-failsBefore),
+		})
+	}
+
+	for _, f := range res.Failures {
+		tab.Notes = append(tab.Notes, "FAIL "+f)
+	}
+	if res.OK() {
+		tab.Notes = append(tab.Notes,
+			fmt.Sprintf("%d crash points: recovery + double-crash recovery all verified", res.PointsRun))
+	}
+	return tab, res, nil
+}

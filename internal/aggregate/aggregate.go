@@ -54,6 +54,18 @@ type Aggregate struct {
 
 	vols    []*Volume
 	cpCount uint64
+
+	// inj, when set, is the drive-fault plan wired into every drive; the
+	// aggregate keeps it to survive MountFrom and to report repair stats.
+	inj    storage.Injector
+	repair RepairStats
+}
+
+// RepairStats counts ReadVBNRaw fault handling: transient read errors that
+// succeeded on retry, and persistent errors repaired from RAID parity.
+type RepairStats struct {
+	Retries      uint64
+	Reconstructs uint64
 }
 
 // New formats a fresh aggregate: builds the RAID groups, the activemap and
@@ -170,11 +182,45 @@ func (a *Aggregate) SelectAAFirstFit(group, exclude int) int {
 	return -1
 }
 
+// SetInjector wires a drive-fault plan into every drive (data and parity)
+// of every RAID group. Pass nil to disable injection.
+func (a *Aggregate) SetInjector(in storage.Injector) {
+	a.inj = in
+	for _, g := range a.groups {
+		for i := 0; i < g.DataDrives(); i++ {
+			g.Drive(i).SetInjector(in)
+		}
+		g.ParityDrive().SetInjector(in)
+	}
+}
+
+// Injector returns the wired drive-fault plan, or nil.
+func (a *Aggregate) Injector() storage.Injector { return a.inj }
+
+// Repairs returns the ReadVBNRaw fault-repair counters.
+func (a *Aggregate) Repairs() RepairStats { return a.repair }
+
 // ReadVBNRaw returns the committed media content of vbn without timing
 // effects (mount/verification path). Never-written blocks return nil.
+//
+// This is the OS-visible read path, so it is subject to injected read
+// errors: a failed read is retried once (transient errors clear), and a
+// persistent failure is repaired by XOR reconstruction from the rest of the
+// RAID stripe — valid because this path only ever reads committed blocks,
+// whose stripes have consistent parity.
 func (a *Aggregate) ReadVBNRaw(vbn block.VBN) []byte {
 	g, d, dbn := a.geo.Locate(vbn)
-	return a.groups[g].Drive(d).Peek(dbn)
+	drive := a.groups[g].Drive(d)
+	b, ok := drive.PeekChecked(dbn)
+	if ok {
+		return b
+	}
+	a.repair.Retries++
+	if b, ok = drive.PeekChecked(dbn); ok {
+		return b
+	}
+	a.repair.Reconstructs++
+	return a.groups[g].ReconstructBlock(d, dbn)
 }
 
 // ReadVBN performs a timed single-block read of vbn, blocking the calling

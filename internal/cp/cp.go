@@ -55,7 +55,26 @@ type Engine struct {
 
 	obsTid int32 // interned CP-phase trace track id + 1; 0 = unset
 
+	// phaseHook, when set, is consulted at every CP phase boundary with the
+	// boundary's name. Returning true means "the crash harness wants to
+	// stop here": the engine thread yields once, so a pending scheduler
+	// halt (sim.Scheduler.RequestHalt) takes effect at exactly that
+	// boundary. The hook must be a pure observer otherwise — when it
+	// returns false no simulation primitive runs, keeping the event stream
+	// bit-identical to a run without a hook.
+	phaseHook func(phase string) bool
+
 	stats Stats
+}
+
+// SetPhaseHook installs (or, with nil, removes) the CP phase-boundary hook.
+func (e *Engine) SetPhaseHook(fn func(phase string) bool) { e.phaseHook = fn }
+
+// boundary reports one CP phase boundary to the crash-schedule hook.
+func (e *Engine) boundary(t *sim.Thread, name string) {
+	if e.phaseHook != nil && e.phaseHook(name) {
+		t.Yield()
+	}
 }
 
 // track returns the CP phase-marker trace track, interning it on first use.
@@ -139,6 +158,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 	tr := t.Tracer()
 	ph := start // start of the phase currently executing
 
+	e.boundary(t, "start")
 	// Phase 1: freeze. Atomically capture the dirty state: switch NVRAM
 	// halves and move every dirty inode's buffers into its frozen set.
 	e.log.Switch()
@@ -198,6 +218,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 		ph = e.phaseSpan(tr, "clean", ph, t.Now())
 		tr.Observe("cp.clean", int64(t.Now()-cleanStart))
 	}
+	e.boundary(t, "clean")
 
 	// Phase 3: inode records. Roots are final; serialize the records into
 	// the inode files.
@@ -214,6 +235,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 	if tr != nil {
 		ph = e.phaseSpan(tr, "records", ph, t.Now())
 	}
+	e.boundary(t, "records")
 
 	// Phase 4: volume metafiles (inode file, container map, volume
 	// activemap), cleaned through the same allocator.
@@ -230,6 +252,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 	if tr != nil {
 		ph = e.phaseSpan(tr, "metafiles", ph, t.Now())
 	}
+	e.boundary(t, "metafiles")
 
 	// Phase 5: volume table.
 	e.a.WriteVolumeEntries()
@@ -240,6 +263,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 	if tr != nil {
 		ph = e.phaseSpan(tr, "voltable", ph, t.Now())
 	}
+	e.boundary(t, "voltable")
 
 	// Phase 6: the self-referential aggregate activemap, via the
 	// fixed-point flush planner; then wait for every outstanding write
@@ -259,14 +283,18 @@ func (e *Engine) runCP(t *sim.Thread) {
 		ph = e.phaseSpan(tr, "amap flush", ph, t.Now())
 		tr.Observe("cp.meta", int64(t.Now()-metaStart))
 	}
+	e.boundary(t, "amap")
 
 	// Phase 7: commit. The superblock overwrite is the atomic transition
 	// to the new file system tree; afterwards the NVRAM half that fed
 	// this CP is freed and same-CP-freed blocks become allocatable.
+	e.boundary(t, "commit")
 	e.a.SetCPCount(e.a.CPCount() + 1)
 	e.a.WriteSuperblock(t)
+	e.boundary(t, "post-commit")
 	e.log.FreeFrozen()
 	e.in.EndCP()
+	e.boundary(t, "done")
 
 	if tr != nil {
 		e.phaseSpan(tr, "commit", ph, t.Now())

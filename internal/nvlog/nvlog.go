@@ -98,37 +98,58 @@ func (l *Log) append(r Record) {
 	h.bytes += r.Size()
 }
 
+// Reservation is one in-flight operation's claim on NVRAM space. Each op
+// appends only against its own remaining claim; overshooting it is a
+// program error (panic), not a silent raid on the shared pool — the old
+// pooled accounting let one overshooting op consume other ops' promised
+// space and push the active half past halfCap.
+type Reservation struct {
+	l         *Log
+	remaining uint64
+}
+
 // Reserve sets aside n bytes of the active half for an in-flight operation,
-// so that the operation's later AppendReserved calls cannot fail. The
+// so that the operation's later Reservation.Append calls cannot fail. The
 // write path reserves in the (stallable) client context, then appends each
 // record *atomically adjacent* to dirtying its buffer inside the stripe
 // affinity — guaranteeing a record and its dirty buffer land on the same
-// side of any CP freeze. Returns false when the half cannot hold the
+// side of any CP freeze. Returns (nil, false) when the half cannot hold the
 // reservation yet.
-func (l *Log) Reserve(n uint64) bool {
+func (l *Log) Reserve(n uint64) (*Reservation, bool) {
 	if n > l.halfCap {
 		panic("nvlog: reservation exceeds half capacity")
 	}
 	if l.halves[l.active].bytes+l.reserved+n > l.halfCap {
 		l.Stalls++
-		return false
+		return nil, false
 	}
 	l.reserved += n
-	return true
+	return &Reservation{l: l, remaining: n}, true
 }
 
-// AppendReserved logs r against a prior reservation; it cannot fail. If a
-// half switch happened since Reserve, the record (and its reservation)
-// simply apply to the new active half — consistent with its buffer
-// dirtying, which also lands in the new CP generation.
-func (l *Log) AppendReserved(r Record) {
-	size := r.Size()
-	if size >= l.reserved {
-		l.reserved = 0
-	} else {
-		l.reserved -= size
+// Append logs rec against this reservation; it cannot stall. If a half
+// switch happened since Reserve, the record (and its reservation) simply
+// apply to the new active half — consistent with its buffer dirtying, which
+// also lands in the new CP generation. Panics if rec exceeds the
+// reservation's remaining bytes.
+func (r *Reservation) Append(rec Record) {
+	size := rec.Size()
+	if size > r.remaining {
+		panic("nvlog: record exceeds its operation's reservation")
 	}
-	l.append(r)
+	r.remaining -= size
+	r.l.reserved -= size
+	r.l.append(rec)
+}
+
+// Remaining returns the unconsumed bytes of the reservation.
+func (r *Reservation) Remaining() uint64 { return r.remaining }
+
+// Release returns any unconsumed bytes to the pool. Safe to call more than
+// once; call it when the operation finishes appending.
+func (r *Reservation) Release() {
+	r.l.reserved -= r.remaining
+	r.remaining = 0
 }
 
 // ActiveBytes returns the bytes used in the active half.
@@ -169,6 +190,24 @@ func (l *Log) FreeFrozen() {
 	}
 	l.halves[l.frozen] = half{}
 	l.frozen = -1
+}
+
+// Restore reloads replayed records into the active half after a crash,
+// preserving their original sequence numbers, so they stay NVRAM-protected
+// until the next CP commits them (§II-C): a second crash before that CP
+// replays them again. The restored set may legitimately exceed halfCap —
+// before the crash the records occupied up to both halves — so capacity is
+// deliberately unchecked here; an over-full active half stalls new client
+// ops until the recovery CP drains it.
+func (l *Log) Restore(recs []Record) {
+	h := &l.halves[l.active]
+	for _, r := range recs {
+		h.recs = append(h.recs, r)
+		h.bytes += r.Size()
+		if r.Seq > l.seq {
+			l.seq = r.Seq
+		}
+	}
 }
 
 // Replay returns every record that must be reapplied after a crash, in

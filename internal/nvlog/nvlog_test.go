@@ -120,7 +120,8 @@ func TestBackToBackBehaviour(t *testing.T) {
 
 func TestReserveBlocksAppendCapacity(t *testing.T) {
 	l := New(1000)
-	if !l.Reserve(800) {
+	res, ok := l.Reserve(800)
+	if !ok {
 		t.Fatal("reserve should fit")
 	}
 	// A plain Append must respect the reservation.
@@ -130,9 +131,9 @@ func TestReserveBlocksAppendCapacity(t *testing.T) {
 	if l.Stalls != 1 {
 		t.Fatalf("stalls = %d", l.Stalls)
 	}
-	// Reserved appends always succeed and release the reservation.
-	l.AppendReserved(rec(2, 368)) // size 400
-	l.AppendReserved(rec(3, 368))
+	// Reserved appends always succeed and consume the reservation.
+	res.Append(rec(2, 368)) // size 400
+	res.Append(rec(3, 368))
 	if l.ActiveOps() != 2 {
 		t.Fatalf("ops = %d", l.ActiveOps())
 	}
@@ -147,10 +148,10 @@ func TestReserveRejectsWhenFull(t *testing.T) {
 	if !l.Append(rec(1, 300)) { // 332 bytes
 		t.Fatal("append")
 	}
-	if l.Reserve(300) {
+	if _, ok := l.Reserve(300); ok {
 		t.Fatal("reserve should fail when the half cannot hold it")
 	}
-	if !l.Reserve(100) {
+	if _, ok := l.Reserve(100); !ok {
 		t.Fatal("smaller reserve should fit")
 	}
 }
@@ -160,12 +161,13 @@ func TestReservationSurvivesSwitch(t *testing.T) {
 	// half: the records land with the next CP generation, consistent with
 	// their buffers.
 	l := New(1000)
-	if !l.Reserve(400) {
+	res, ok := l.Reserve(400)
+	if !ok {
 		t.Fatal("reserve")
 	}
 	l.Append(rec(1, 0))
 	l.Switch()
-	l.AppendReserved(rec(2, 368))
+	res.Append(rec(2, 368))
 	if l.ActiveOps() != 1 {
 		t.Fatalf("active ops = %d, want the reserved record in the new half", l.ActiveOps())
 	}
@@ -182,4 +184,106 @@ func TestReserveOversizePanics(t *testing.T) {
 		}
 	}()
 	New(100).Reserve(200)
+}
+
+func TestOvershootPanicsInsteadOfRaidingPool(t *testing.T) {
+	// Regression: a record larger than its own reservation used to clamp
+	// the *shared* pool to zero, silently consuming other in-flight ops'
+	// promised space. It must panic instead.
+	l := New(2000)
+	resA, ok := l.Reserve(200)
+	if !ok {
+		t.Fatal("reserve A")
+	}
+	if _, ok := l.Reserve(600); !ok { // op B's claim, must stay intact
+		t.Fatal("reserve B")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overshoot")
+		}
+	}()
+	resA.Append(rec(1, 400)) // size 432 > 200
+}
+
+func TestReservationsIsolated(t *testing.T) {
+	// Two ops' reservations do not interact: A consuming all of its claim
+	// leaves B's claim (and the pool accounting) intact.
+	l := New(1000)
+	resA, okA := l.Reserve(400)
+	resB, okB := l.Reserve(400)
+	if !okA || !okB {
+		t.Fatal("reserves should fit")
+	}
+	resA.Append(rec(1, 368)) // exactly 400 bytes
+	if resA.Remaining() != 0 {
+		t.Fatalf("A remaining = %d", resA.Remaining())
+	}
+	if resB.Remaining() != 400 {
+		t.Fatalf("B remaining = %d", resB.Remaining())
+	}
+	// Pool still holds B's 400: a 200-byte append must stall (400 used +
+	// 400 reserved + 332 > 1000).
+	if l.Append(rec(3, 300)) {
+		t.Fatal("append must respect B's surviving reservation")
+	}
+	resB.Append(rec(2, 368))
+	if !l.Append(rec(3, 100)) {
+		t.Fatal("append should fit once B consumed its claim")
+	}
+}
+
+func TestReleaseReturnsLeftover(t *testing.T) {
+	l := New(1000)
+	res, ok := l.Reserve(800)
+	if !ok {
+		t.Fatal("reserve")
+	}
+	res.Append(rec(1, 168)) // 200 bytes, 600 left on the claim
+	res.Release()
+	if res.Remaining() != 0 {
+		t.Fatalf("remaining after release = %d", res.Remaining())
+	}
+	// All 800 reserved bytes are accounted for: 200 appended, 600 freed.
+	if !l.Append(rec(2, 700)) { // 732 bytes; 200+732 <= 1000
+		t.Fatal("released space not returned to the pool")
+	}
+	res.Release() // idempotent
+}
+
+func TestRestorePreservesSeqAndProtects(t *testing.T) {
+	// Simulate the post-crash path: records from both halves are replayed
+	// and must be re-logged into the new log with their original sequence
+	// numbers, even if together they exceed one half's capacity.
+	old := New(500)
+	old.Append(rec(1, 300)) // 332 bytes
+	old.Switch()
+	old.Append(rec(2, 300))
+	recs := old.Replay()
+	if len(recs) != 2 {
+		t.Fatalf("replay = %d records", len(recs))
+	}
+
+	fresh := New(500)
+	fresh.Restore(recs)
+	if fresh.ActiveOps() != 2 {
+		t.Fatalf("restored ops = %d", fresh.ActiveOps())
+	}
+	if fresh.ActiveBytes() != 664 { // over halfCap by design
+		t.Fatalf("restored bytes = %d", fresh.ActiveBytes())
+	}
+	got := fresh.Replay()
+	for i := range recs {
+		if got[i].Seq != recs[i].Seq || got[i].Ino != recs[i].Ino {
+			t.Fatalf("record %d mutated: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	// New appends continue after the highest restored seq.
+	fresh.Switch()
+	fresh.Append(rec(3, 0))
+	rs := fresh.Replay()
+	last := rs[len(rs)-1]
+	if last.Ino != 3 || last.Seq <= recs[1].Seq {
+		t.Fatalf("post-restore seq not monotone: %+v", last)
+	}
 }

@@ -127,6 +127,15 @@ type Scheduler struct {
 	threads  []*Thread // every thread ever spawned (for Shutdown)
 	poisoned bool      // Shutdown in progress: resumed threads unwind
 
+	// Halt state: crash-schedule fault injection stops the event loop at a
+	// precise, reproducible point — between two events — so that a caller
+	// can Crash() the system exactly there. haltAt is an event-count
+	// threshold (0 = disabled); haltReq is a one-shot request raised from
+	// inside an event (e.g. a CP phase hook).
+	haltAt  uint64
+	haltReq bool
+	halted  bool
+
 	// tr is the observability spine; nil means tracing is disabled and
 	// every emission point reduces to one pointer comparison.
 	tr *obs.Tracer
@@ -242,6 +251,33 @@ func (s *Scheduler) Live() int { return s.live }
 // determinism fingerprint).
 func (s *Scheduler) Events() uint64 { return s.dispatched }
 
+// HaltAtEvent arranges for Run/Drain to stop — between events, without
+// advancing the clock further — once the dispatched-event count reaches n.
+// Because the simulation is deterministic, (seed, event index) names a
+// reproducible instant: the crash-schedule sweep uses this to crash the
+// system at every point of a run. Pass 0 to disable.
+func (s *Scheduler) HaltAtEvent(n uint64) { s.haltAt = n }
+
+// RequestHalt asks the event loop to stop after the currently executing
+// event. It is safe to call from inside event or simulated-thread context
+// (e.g. a CP phase hook); the caller should park promptly so the event
+// finishes.
+func (s *Scheduler) RequestHalt() { s.haltReq = true }
+
+// Halted reports whether the last Run/Drain stopped early because of
+// HaltAtEvent or RequestHalt rather than reaching its time/queue limit.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// shouldHalt checks and consumes pending halt conditions.
+func (s *Scheduler) shouldHalt() bool {
+	if s.haltReq || (s.haltAt != 0 && s.dispatched >= s.haltAt) {
+		s.haltReq = false
+		s.halted = true
+		return true
+	}
+	return false
+}
+
 // CPU returns a snapshot of cumulative per-category busy time.
 func (s *Scheduler) CPU() CPUStats {
 	return CPUStats{Busy: s.busy, Wall: s.now}
@@ -269,17 +305,28 @@ func (s *Scheduler) After(d Duration, fn func()) {
 // Run processes events until the simulated clock reaches until, then advances
 // the clock to exactly until and returns. Threads blocked at that point stay
 // blocked; a subsequent Run continues the simulation.
+//
+// If a halt is pending (HaltAtEvent/RequestHalt), Run stops between events
+// and leaves the clock at the last dispatched event's time — the state a
+// crash at that event index would find.
 func (s *Scheduler) Run(until Time) {
 	if s.running {
 		panic("sim: Run called reentrantly")
 	}
 	s.running = true
 	defer func() { s.running = false }()
+	s.halted = false
 	for len(s.heap) > 0 && s.heap[0].at <= until {
+		if s.shouldHalt() {
+			return
+		}
 		e := s.heap.pop()
 		s.now = e.at
 		s.dispatched++
 		e.fn()
+	}
+	if s.shouldHalt() {
+		return
 	}
 	if s.now < until {
 		s.now = until
@@ -299,7 +346,11 @@ func (s *Scheduler) Drain(limit Time) int {
 	}
 	s.running = true
 	defer func() { s.running = false }()
+	s.halted = false
 	for len(s.heap) > 0 && s.heap[0].at <= limit {
+		if s.shouldHalt() {
+			return n
+		}
 		e := s.heap.pop()
 		s.now = e.at
 		s.dispatched++

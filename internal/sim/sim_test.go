@@ -398,3 +398,86 @@ func TestYield(t *testing.T) {
 		t.Fatalf("order = %v, want [b a]", order)
 	}
 }
+
+func TestHaltAtEvent(t *testing.T) {
+	s := New(1, 1)
+	fired := 0
+	for i := 0; i < 20; i++ {
+		i := i
+		s.After(Duration(i+1)*Microsecond, func() { fired++ })
+	}
+	s.HaltAtEvent(5)
+	s.Run(Time(Second))
+	if !s.Halted() {
+		t.Fatal("Run did not halt at event threshold")
+	}
+	if s.Events() != 5 || fired != 5 {
+		t.Fatalf("events=%d fired=%d, want 5", s.Events(), fired)
+	}
+	if s.Now() != Time(5*Microsecond) {
+		t.Fatalf("clock advanced to %v, want time of 5th event", s.Now())
+	}
+	// Resuming with the threshold already met halts immediately.
+	s.Run(Time(Second))
+	if !s.Halted() || fired != 5 {
+		t.Fatalf("resumed run should halt immediately (fired=%d)", fired)
+	}
+	// Disabling the threshold lets the run finish and the clock reach until.
+	s.HaltAtEvent(0)
+	s.Run(Time(Second))
+	if s.Halted() || fired != 20 || s.Now() != Time(Second) {
+		t.Fatalf("halted=%v fired=%d now=%v, want full completion", s.Halted(), fired, s.Now())
+	}
+}
+
+func TestRequestHaltFromEvent(t *testing.T) {
+	s := New(1, 1)
+	fired := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(Duration(i+1)*Microsecond, func() {
+			fired++
+			if i == 2 {
+				s.RequestHalt()
+			}
+		})
+	}
+	s.Run(Time(Second))
+	if !s.Halted() || fired != 3 {
+		t.Fatalf("halted=%v fired=%d, want halt after 3rd event", s.Halted(), fired)
+	}
+	// The request is one-shot: the next Run completes.
+	s.Run(Time(Second))
+	if s.Halted() || fired != 10 {
+		t.Fatalf("halted=%v fired=%d, want completed run", s.Halted(), fired)
+	}
+}
+
+func TestHaltDeterministicResume(t *testing.T) {
+	// A run halted at event k and resumed must match an uninterrupted run.
+	run := func(haltAt uint64) (Time, uint64) {
+		s := New(2, 7)
+		var total Duration
+		for i := 0; i < 4; i++ {
+			s.Go(fmt.Sprintf("w%d", i), CatOther, func(th *Thread) {
+				for j := 0; j < 50; j++ {
+					th.Consume(3 * Microsecond)
+					th.Sleep(Duration(j) * Microsecond)
+				}
+				total += th.Busy()
+			})
+		}
+		if haltAt > 0 {
+			s.HaltAtEvent(haltAt)
+			s.Run(Time(Second))
+			s.HaltAtEvent(0)
+		}
+		s.Run(Time(Second))
+		return s.Now(), s.Events()
+	}
+	n1, e1 := run(0)
+	n2, e2 := run(97)
+	if n1 != n2 || e1 != e2 {
+		t.Fatalf("halt+resume diverged: now %v vs %v, events %d vs %d", n1, n2, e1, e2)
+	}
+}

@@ -43,6 +43,44 @@ type WriteReq struct {
 	Data []byte // must remain immutable once submitted (CoW guarantees this)
 }
 
+// WriteFault describes how an injector perturbs one write I/O.
+type WriteFault struct {
+	// Drop loses the I/O entirely: its completion never fires and its data
+	// lands only if a later crash tears a prefix onto the media. The drive
+	// still spends the service time (the controller accepted the I/O).
+	Drop bool
+	// Delay postpones the completion callback (and the media update) by the
+	// given simulated time without occupying the drive — a controller or
+	// interrupt hiccup.
+	Delay sim.Duration
+}
+
+// ReadFault describes how an injector perturbs one read I/O.
+type ReadFault struct {
+	Delay sim.Duration
+}
+
+// Injector is the drive-level fault-injection hook. All methods are called
+// synchronously from simulation context and must be deterministic — the
+// crash-schedule sweep depends on (seed, event index) reproducing the same
+// run. internal/faultinject provides the standard implementation.
+type Injector interface {
+	// WriteFault is consulted once per submitted write I/O.
+	WriteFault(drive string, nblocks int) WriteFault
+	// ReadFault is consulted once per submitted read I/O.
+	ReadFault(drive string, nblocks int) ReadFault
+	// PeekFault reports whether this media read attempt fails (a checksum
+	// or media error surfaced to the mount/verification path). Transient
+	// faults fail once and succeed on retry; persistent faults keep failing
+	// and force RAID reconstruction.
+	PeekFault(drive string, dbn block.DBN) bool
+	// CrashPrefix is consulted for each write I/O still in flight when the
+	// power fails: it returns how many of the I/O's first blocks made it to
+	// the media (0..nblocks). 0 models the default all-or-nothing drop; a
+	// positive value models a torn multi-block write.
+	CrashPrefix(drive string, nblocks int) int
+}
+
 // Stats holds cumulative per-drive I/O statistics.
 type Stats struct {
 	ReadIOs       uint64
@@ -50,6 +88,13 @@ type Stats struct {
 	BlocksRead    uint64
 	BlocksWritten uint64
 	BusyTime      sim.Duration // total time the drive was servicing I/O
+
+	// Fault-injection outcomes.
+	DroppedIOs     uint64 // write I/Os lost (completion never fired)
+	DelayedIOs     uint64 // I/Os whose completion was delayed
+	TornWrites     uint64 // in-flight writes torn by a crash (prefix landed)
+	TornBlocksLost uint64 // blocks of torn writes that did not land
+	PeekErrors     uint64 // media read attempts failed by injection
 }
 
 // Drive is a simulated drive: an array of blocks plus a service queue.
@@ -69,6 +114,17 @@ type Drive struct {
 	epoch     uint64 // bumped by DropInFlight; stale completions are discarded
 	obsTid    int32  // interned trace track id + 1; 0 = unset
 	stats     Stats
+
+	// inj is the optional fault-injection hook; nil means no faults.
+	inj Injector
+	// inflight tracks submitted-but-incomplete write I/Os in submission
+	// order, so a crash can tear them (land a prefix) deterministically.
+	inflight []*inflightWrite
+}
+
+// inflightWrite is one submitted write I/O awaiting completion.
+type inflightWrite struct {
+	reqs []WriteReq
 }
 
 // track returns the drive's trace track id, interning it on first use.
@@ -102,6 +158,36 @@ func (d *Drive) Profile() Profile { return d.profile }
 // Stats returns a snapshot of the drive's I/O statistics.
 func (d *Drive) Stats() Stats { return d.stats }
 
+// SetInjector attaches a fault injector (nil disables fault injection).
+func (d *Drive) SetInjector(in Injector) { d.inj = in }
+
+// InflightWrites returns the number of write I/Os submitted but not yet
+// completed (or lost) — the population a crash would tear.
+func (d *Drive) InflightWrites() int { return len(d.inflight) }
+
+// InflightMultiBlock returns how many of those in-flight writes span two or
+// more blocks — the ones a crash-time torn-write fault can actually tear.
+func (d *Drive) InflightMultiBlock() int {
+	n := 0
+	for _, e := range d.inflight {
+		if len(e.reqs) >= 2 {
+			n++
+		}
+	}
+	return n
+}
+
+// removeInflight drops one completed entry; in-flight counts are small
+// (drive queue depth), so a linear scan is fine.
+func (d *Drive) removeInflight(e *inflightWrite) {
+	for i, x := range d.inflight {
+		if x == e {
+			d.inflight = append(d.inflight[:i], d.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
 // service reserves the drive for an I/O of n blocks and returns its
 // completion time. kind labels the trace span ("read"/"write").
 func (d *Drive) service(n int, kind string) sim.Time {
@@ -134,16 +220,32 @@ func (d *Drive) Write(reqs []WriteReq, done func()) {
 			panic(fmt.Sprintf("storage: write beyond device %s: dbn %d >= %d", d.name, r.DBN, d.nblocks))
 		}
 	}
+	var wf WriteFault
+	if d.inj != nil {
+		wf = d.inj.WriteFault(d.name, len(reqs))
+	}
 	completion := d.service(len(reqs), "write")
 	d.stats.WriteIOs++
 	d.stats.BlocksWritten += uint64(len(reqs))
 	// Capture the request slice; payloads are immutable by contract.
 	rs := append([]WriteReq(nil), reqs...)
+	entry := &inflightWrite{reqs: rs}
+	d.inflight = append(d.inflight, entry)
+	if wf.Drop {
+		// Lost I/O: no completion ever fires; the entry stays in flight so
+		// a later crash tears it like any other outstanding write.
+		d.stats.DroppedIOs++
+		return
+	}
+	if wf.Delay > 0 {
+		d.stats.DelayedIOs++
+	}
 	epoch := d.epoch
-	d.s.After(sim.Duration(completion-d.s.Now()), func() {
+	d.s.After(sim.Duration(completion-d.s.Now())+wf.Delay, func() {
 		if d.epoch != epoch {
 			return // lost to a crash before completing
 		}
+		d.removeInflight(entry)
 		for _, r := range rs {
 			d.media[r.DBN] = r.Data
 		}
@@ -163,12 +265,19 @@ func (d *Drive) Read(dbns []block.DBN, done func([][]byte)) {
 		}
 		return
 	}
+	var rf ReadFault
+	if d.inj != nil {
+		rf = d.inj.ReadFault(d.name, len(dbns))
+		if rf.Delay > 0 {
+			d.stats.DelayedIOs++
+		}
+	}
 	completion := d.service(len(dbns), "read")
 	d.stats.ReadIOs++
 	d.stats.BlocksRead += uint64(len(dbns))
 	ds := append([]block.DBN(nil), dbns...)
 	epoch := d.epoch
-	d.s.After(sim.Duration(completion-d.s.Now()), func() {
+	d.s.After(sim.Duration(completion-d.s.Now())+rf.Delay, func() {
 		if d.epoch != epoch {
 			return
 		}
@@ -213,17 +322,49 @@ func (d *Drive) WriteSync(t *sim.Thread, reqs []WriteReq) {
 	}
 }
 
-// Peek returns the committed media content of dbn without timing effects.
-// Recovery code uses it to model reading the stable image after a crash
-// (mount-time reads are not part of any measured experiment), and tests use
-// it to assert what actually reached persistent storage.
+// Peek returns the committed media content of dbn without timing effects —
+// the simulator's god view of the stable image, never subject to fault
+// injection. RAID reconstruction and test assertions use it.
 func (d *Drive) Peek(dbn block.DBN) []byte { return d.media[dbn] }
 
-// DropInFlight models a power loss: every I/O submitted but not yet
-// completed is discarded — its data never lands on the media and its
-// completion callback never fires. The stable image remains exactly the set
-// of writes that had completed before the crash.
+// PeekChecked is the fallible media read the file system's mount and
+// verification paths use: it returns the committed content of dbn, or
+// ok=false when the injector fails this attempt (a media/checksum error).
+// Transient faults succeed on retry; persistent faults force the caller to
+// RAID reconstruction.
+func (d *Drive) PeekChecked(dbn block.DBN) ([]byte, bool) {
+	if d.inj != nil && d.inj.PeekFault(d.name, dbn) {
+		d.stats.PeekErrors++
+		return nil, false
+	}
+	return d.media[dbn], true
+}
+
+// DropInFlight models a power loss: every write I/O submitted but not yet
+// completed is discarded — its completion callback never fires. Without an
+// injector nothing of a dropped I/O lands on the media; with one, each
+// in-flight write may be torn, landing only a prefix of its blocks (the
+// injector's CrashPrefix decides, in submission order). The stable image
+// is otherwise exactly the set of writes that had completed before the
+// crash.
 func (d *Drive) DropInFlight() {
 	d.epoch++
 	d.busyUntil = d.s.Now()
+	for _, e := range d.inflight {
+		p := 0
+		if d.inj != nil {
+			p = d.inj.CrashPrefix(d.name, len(e.reqs))
+		}
+		if p > len(e.reqs) {
+			p = len(e.reqs)
+		}
+		if p > 0 {
+			for _, r := range e.reqs[:p] {
+				d.media[r.DBN] = r.Data
+			}
+			d.stats.TornWrites++
+			d.stats.TornBlocksLost += uint64(len(e.reqs) - p)
+		}
+	}
+	d.inflight = nil
 }

@@ -131,3 +131,131 @@ func TestEmptyIO(t *testing.T) {
 		t.Fatal("empty write should not count as an I/O")
 	}
 }
+
+// stubInjector is a programmable Injector for drive-level tests.
+type stubInjector struct {
+	writeFault  WriteFault
+	readFault   ReadFault
+	crashPrefix int
+	peekFail    map[block.DBN]int // dbn -> remaining failures
+}
+
+func (in *stubInjector) WriteFault(string, int) WriteFault { return in.writeFault }
+func (in *stubInjector) ReadFault(string, int) ReadFault   { return in.readFault }
+func (in *stubInjector) CrashPrefix(string, int) int       { return in.crashPrefix }
+func (in *stubInjector) PeekFault(_ string, dbn block.DBN) bool {
+	if in.peekFail == nil || in.peekFail[dbn] == 0 {
+		return false
+	}
+	in.peekFail[dbn]--
+	return true
+}
+
+func TestTornWriteAtCrash(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 1024)
+	d.SetInjector(&stubInjector{crashPrefix: 2})
+	fired := false
+	d.Write([]WriteReq{
+		{DBN: 10, Data: testBlock(1)},
+		{DBN: 11, Data: testBlock(2)},
+		{DBN: 12, Data: testBlock(3)},
+	}, func() { fired = true })
+	// Crash before the I/O completes: only the 2-block prefix lands.
+	d.DropInFlight()
+	s.Run(sim.Time(sim.Second))
+	if fired {
+		t.Fatal("completion fired for a crashed I/O")
+	}
+	if d.Peek(10) == nil || d.Peek(11) == nil {
+		t.Fatal("torn-write prefix did not land")
+	}
+	if d.Peek(12) != nil {
+		t.Fatal("torn-write suffix landed")
+	}
+	st := d.Stats()
+	if st.TornWrites != 1 || st.TornBlocksLost != 1 {
+		t.Fatalf("torn stats = %+v", st)
+	}
+	if d.InflightWrites() != 0 {
+		t.Fatal("inflight list not cleared by crash")
+	}
+}
+
+func TestUntornCrashLandsNothing(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 1024)
+	d.Write([]WriteReq{{DBN: 3, Data: testBlock(9)}}, nil)
+	d.DropInFlight()
+	s.Run(sim.Time(sim.Second))
+	if d.Peek(3) != nil {
+		t.Fatal("in-flight write landed without injector")
+	}
+}
+
+func TestDroppedWriteCompletionNeverFires(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 1024)
+	d.SetInjector(&stubInjector{writeFault: WriteFault{Drop: true}})
+	fired := false
+	d.Write([]WriteReq{{DBN: 7, Data: testBlock(4)}}, func() { fired = true })
+	s.Run(sim.Time(sim.Second))
+	if fired {
+		t.Fatal("dropped I/O completed")
+	}
+	if d.Peek(7) != nil {
+		t.Fatal("dropped I/O landed")
+	}
+	if d.Stats().DroppedIOs != 1 || d.InflightWrites() != 1 {
+		t.Fatalf("stats = %+v inflight=%d", d.Stats(), d.InflightWrites())
+	}
+	// A later crash can still tear the lost I/O's prefix onto the media.
+	d.inj = &stubInjector{crashPrefix: 1}
+	d.DropInFlight()
+	if d.Peek(7) == nil {
+		t.Fatal("crash prefix of lost I/O did not land")
+	}
+}
+
+func TestDelayedWriteCompletion(t *testing.T) {
+	s := sim.New(1, 1)
+	plain := NewDrive(s, "p", SSD, 64)
+	delayed := NewDrive(s, "q", SSD, 64)
+	delayed.SetInjector(&stubInjector{writeFault: WriteFault{Delay: 500 * sim.Microsecond}})
+	var tPlain, tDelayed sim.Time
+	plain.Write([]WriteReq{{DBN: 1, Data: testBlock(1)}}, func() { tPlain = s.Now() })
+	delayed.Write([]WriteReq{{DBN: 1, Data: testBlock(1)}}, func() { tDelayed = s.Now() })
+	s.Run(sim.Time(sim.Second))
+	if tDelayed != tPlain+sim.Time(500*sim.Microsecond) {
+		t.Fatalf("delayed completion at %v, plain at %v", tDelayed, tPlain)
+	}
+	if delayed.Stats().DelayedIOs != 1 {
+		t.Fatalf("stats = %+v", delayed.Stats())
+	}
+}
+
+func TestPeekCheckedFaults(t *testing.T) {
+	s := sim.New(1, 1)
+	d := NewDrive(s, "d0", SSD, 64)
+	var wrote bool
+	d.Write([]WriteReq{{DBN: 2, Data: testBlock(5)}}, func() { wrote = true })
+	s.Run(sim.Time(sim.Second))
+	if !wrote {
+		t.Fatal("setup write did not complete")
+	}
+	d.SetInjector(&stubInjector{peekFail: map[block.DBN]int{2: 1}})
+	if _, ok := d.PeekChecked(2); ok {
+		t.Fatal("first peek should fail (transient)")
+	}
+	if b, ok := d.PeekChecked(2); !ok || !bytes.Equal(b, testBlock(5)) {
+		t.Fatal("retry peek should succeed with committed data")
+	}
+	if d.Stats().PeekErrors != 1 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+	// The god-view Peek is never subject to injection.
+	d.SetInjector(&stubInjector{peekFail: map[block.DBN]int{2: 100}})
+	if !bytes.Equal(d.Peek(2), testBlock(5)) {
+		t.Fatal("raw Peek must bypass faults")
+	}
+}

@@ -58,7 +58,25 @@ func (sys *System) Recover() (*System, error) {
 	if cfg.Allocator.Dynamic {
 		ns.tuner = core.StartTuner(pool, cfg.Tuner)
 	}
-	ns.replay(sys.log.Replay())
+	// Replay the surviving NVRAM records, then re-log them into the new
+	// log with their original sequence numbers. Replayed operations were
+	// acknowledged to clients, so until a CP commits them they must stay
+	// NVRAM-protected (§II-C): without re-logging, a second crash before
+	// the next CP would silently lose them. The restored records may
+	// exceed one half's capacity (they occupied up to two halves before
+	// the crash); the over-full active half stalls new client ops until
+	// the recovery CP below drains it.
+	records := sys.log.Replay()
+	ns.replay(records)
+	ns.log.Restore(records)
+	if len(records) > 0 {
+		// Schedule a recovery CP so the replayed state reaches disk (and
+		// frees the log) promptly once the scheduler runs again.
+		ns.engine.RequestCP()
+	}
+	// Fault injection outlives the crash: the drives are the same objects
+	// (media persists), so the plan wired into them keeps applying.
+	ns.inj = sys.inj
 	return ns, nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"wafl/internal/block"
 	"wafl/internal/core"
 	"wafl/internal/cp"
+	"wafl/internal/faultinject"
 	"wafl/internal/nvlog"
 	"wafl/internal/obs"
 	"wafl/internal/sim"
@@ -63,6 +64,16 @@ type (
 	Tracer = obs.Tracer
 	// TraceHistogram is one latency histogram recorded by the tracer.
 	TraceHistogram = obs.Histogram
+	// FaultConfig selects the deterministic drive-fault plan (torn writes,
+	// dropped/delayed completions, transient read errors) for crash tests.
+	FaultConfig = faultinject.Config
+	// FaultInjector is the wired fault plan; obtain it via Injector.
+	FaultInjector = faultinject.Injector
+	// FaultStats is a snapshot of fault-injection decisions.
+	FaultStats = faultinject.Stats
+	// RepairStats counts fault repairs on the raw read path (retries of
+	// transient errors, RAID reconstructions of persistent ones).
+	RepairStats = aggregate.RepairStats
 )
 
 // Allocation Area policies (re-exported).
@@ -149,6 +160,11 @@ type Config struct {
 	// selects the default capacity. Oldest events drop first.
 	TraceEvents int
 
+	// Faults configures deterministic drive-fault injection (crash-schedule
+	// testing). The zero value disables every fault arm; injection never
+	// runs during initial format, so a fresh System is always mountable.
+	Faults FaultConfig
+
 	Allocator AllocatorOptions
 	Costs     CostModel
 	Tuner     TunerConfig
@@ -191,6 +207,7 @@ type System struct {
 	engine *cp.Engine
 	log    *nvlog.Log
 	tuner  *core.Tuner
+	inj    *faultinject.Injector // nil unless Config.Faults enables an arm
 
 	clients    []*ClientCtx
 	threadMark int // first sim thread belonging to this System
@@ -253,11 +270,74 @@ func NewSystem(cfg Config) (*System, error) {
 	if a.CPCount() == 0 {
 		return nil, fmt.Errorf("wafl: initial consistency point did not complete")
 	}
+	// Wire fault injection only after the initial format committed: a
+	// fresh system must always be mountable. The wiring point is fixed, so
+	// identical configs still yield identical event streams.
+	if cfg.Faults.Enabled() {
+		sys.inj = faultinject.New(cfg.Faults)
+		a.SetInjector(sys.inj)
+	}
 	return sys, nil
 }
 
 // Run advances the simulation by d.
 func (sys *System) Run(d Duration) { sys.s.RunFor(d) }
+
+// Events returns the number of simulation events dispatched so far — the
+// reproducible crash-point coordinate: with a fixed Config (including
+// Seed), event index k names the same instant in every run.
+func (sys *System) Events() uint64 { return sys.s.Events() }
+
+// RunToEvent advances the simulation until event index n has been
+// dispatched, running at most max simulated time. It reports whether the
+// halt was reached (false means the run drained or hit max first). The
+// scheduler is stopped between events afterwards — the state Crash
+// requires.
+func (sys *System) RunToEvent(n uint64, max Duration) bool {
+	sys.s.HaltAtEvent(n)
+	sys.s.RunFor(max)
+	sys.s.HaltAtEvent(0)
+	return sys.s.Halted()
+}
+
+// RequestHalt asks the scheduler to stop before dispatching the next event.
+// Call it from inside the simulation (e.g. a CP phase hook); the current
+// Run returns once the running event finishes.
+func (sys *System) RequestHalt() { sys.s.RequestHalt() }
+
+// Halted reports whether the last Run stopped on a halt request rather
+// than draining or reaching its time bound.
+func (sys *System) Halted() bool { return sys.s.Halted() }
+
+// SetCPPhaseHook installs fn to be called at every CP phase boundary
+// ("start", "clean", "records", "metafiles", "voltable", "amap", "commit",
+// "post-commit", "done"). Returning true halts the scheduler at that
+// boundary — pair with Crash for phase-targeted crash tests. A hook that
+// returns false has no effect on the simulation.
+func (sys *System) SetCPPhaseHook(fn func(phase string) bool) {
+	sys.engine.SetPhaseHook(fn)
+}
+
+// FileExists reports whether ino exists (and is not deleted) on vol.
+func (sys *System) FileExists(vol int, ino uint64) bool {
+	return sys.a.Volume(vol).LookupFile(ino) != nil
+}
+
+// Injector returns the wired fault injector, or nil when Config.Faults is
+// zero. Use it to install persistent per-block read errors (FailBlock).
+func (sys *System) Injector() *faultinject.Injector { return sys.inj }
+
+// FaultStats returns a snapshot of fault-injection decisions (zero when
+// injection is off).
+func (sys *System) FaultStats() FaultStats {
+	if sys.inj == nil {
+		return FaultStats{}
+	}
+	return sys.inj.Stats()
+}
+
+// RepairStats returns the raw-read-path fault-repair counters.
+func (sys *System) RepairStats() RepairStats { return sys.a.Repairs() }
 
 // Shutdown terminates every simulated thread so the whole system becomes
 // garbage-collectable. Call it when done with a System (experiment harness
