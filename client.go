@@ -106,13 +106,22 @@ func (c *ClientCtx) reserveLog(bytes uint64) (*nvlog.Reservation, Duration) {
 // is acknowledged — long before the data reaches a drive, as in the real
 // system.
 func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
+	return c.WriteTag(vol, ino, fbn, nblocks, 0)
+}
+
+// WriteTag is Write with a caller-chosen payload tag. The default pattern
+// content depends only on (ino, fbn), so overwrites are byte-identical;
+// tagged writes give tests distinguishable generations — the only way to
+// prove a snapshot image stayed frozen while the active file system churned
+// over it.
+func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte) Duration {
 	sys := c.sys
 	start := c.t.Now()
 	c.t.Consume(sys.cfg.Costs.ClientOp)
 	blocks := make([][]byte, nblocks)
 	recBytes := uint64(0)
 	for b := 0; b < nblocks; b++ {
-		blocks[b] = sys.payload(ino, fbn+FBN(b), 0)
+		blocks[b] = sys.payload(ino, fbn+FBN(b), tag)
 		recBytes += nvlog.Record{Data: blocks[b], LogicalBytes: block.Size}.Size()
 	}
 	// Reserve NVRAM space up front (this is where overload stalls the op);
@@ -282,6 +291,108 @@ func (c *ClientCtx) Getattr(vol int, ino uint64) Duration {
 	return Duration(c.t.Now() - start)
 }
 
+// SnapCreate takes a point-in-time snapshot of the volume and returns its
+// ID. The request is NVRAM-logged and then driven to durability: the call
+// blocks until a consistency point has materialized the image and committed
+// it to the superblock-reachable metadata, so an acknowledged SnapCreate
+// always survives a crash.
+func (c *ClientCtx) SnapCreate(vol int) uint64 {
+	sys := c.sys
+	start := c.t.Now()
+	var id uint64
+	v := sys.a.Volume(vol)
+	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp)
+		id = v.RequestSnapshot()
+	})
+	rec := nvlog.Record{Kind: nvlog.OpSnapCreate, Vol: uint32(vol), Ino: id}
+	for !sys.log.Append(rec) {
+		c.Stalled++
+		sys.stalls++
+		sys.engine.RequestCP()
+		sys.engine.WaitCPDone(c.t)
+	}
+	sys.engine.RequestCP()
+	for !v.SnapshotExists(id) {
+		sys.engine.WaitCPDone(c.t)
+		if !v.SnapshotExists(id) {
+			sys.engine.RequestCP()
+		}
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	lat := Duration(c.t.Now() - start)
+	if tr := c.t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, c.t.TrackID(), "client", "snap-create",
+			int64(start), int64(c.t.Now()), int64(id))
+	}
+	c.Ops++
+	sys.opsDone++
+	sys.latencies = append(sys.latencies, lat)
+	return id
+}
+
+// SnapDelete removes a snapshot. The namespace change is immediate and the
+// op is NVRAM-logged; exclusively-held blocks are reclaimed by the next
+// consistency point (deferred, like file deletion). Returns false if the
+// snapshot does not exist.
+func (c *ClientCtx) SnapDelete(vol int, id uint64) bool {
+	sys := c.sys
+	start := c.t.Now()
+	var ok bool
+	v := sys.a.Volume(vol)
+	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp / 2)
+		ok = v.DeleteSnapshot(id)
+	})
+	if ok {
+		rec := nvlog.Record{Kind: nvlog.OpSnapDelete, Vol: uint32(vol), Ino: id}
+		for !sys.log.Append(rec) {
+			c.Stalled++
+			sys.stalls++
+			sys.engine.RequestCP()
+			sys.engine.WaitCPDone(c.t)
+		}
+		if !sys.log.HasFrozen() {
+			sys.maybeTriggerCP()
+		}
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
+	c.Ops++
+	sys.opsDone++
+	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	return ok
+}
+
+// SnapRead reads nblocks blocks at fbn of inode ino from a snapshot's
+// frozen image, with timed media walks (snapshot trees live only on media).
+// Returns false if the snapshot, or the inode within it, does not exist.
+func (c *ClientCtx) SnapRead(vol int, snapID, ino uint64, fbn FBN, nblocks int) (Duration, bool) {
+	sys := c.sys
+	start := c.t.Now()
+	ok := true
+	v := sys.a.Volume(vol)
+	for b := 0; b < nblocks; b++ {
+		fbn := fbn + FBN(b)
+		sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+			wt.Consume(sys.cfg.Costs.ClientPerBlock)
+			if _, found := v.SnapReadBlock(wt, snapID, ino, fbn); !found {
+				ok = false
+			}
+		})
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	lat := Duration(c.t.Now() - start)
+	if tr := c.t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, c.t.TrackID(), "client", "snap-read",
+			int64(start), int64(c.t.Now()), int64(nblocks))
+	}
+	c.Ops++
+	sys.opsDone++
+	sys.blocksR += uint64(nblocks)
+	sys.latencies = append(sys.latencies, lat)
+	return lat, ok
+}
+
 // VerifyRead returns the committed-or-cached content of a block without
 // timing effects (nil for holes) — the test/validation path.
 func (sys *System) VerifyRead(vol int, ino uint64, fbn FBN) []byte {
@@ -296,4 +407,48 @@ func (sys *System) VerifyRead(vol int, ino uint64, fbn FBN) []byte {
 // CreateFileDirect makes a file without logging or timing (test setup).
 func (sys *System) CreateFileDirect(vol int, maxBlocks uint64) uint64 {
 	return sys.a.Volume(vol).CreateFile(maxBlocks).Ino()
+}
+
+// SnapVerifyRead returns block fbn of inode ino from a snapshot's frozen
+// image without timing effects — the test/oracle path. The second result is
+// false if the snapshot or the inode does not exist in it; a nil slice with
+// true means a hole in the frozen image.
+func (sys *System) SnapVerifyRead(vol int, snapID, ino uint64, fbn FBN) ([]byte, bool) {
+	return sys.a.Volume(vol).SnapReadBlock(nil, snapID, ino, fbn)
+}
+
+// SnapshotExists reports whether the volume has a materialized snapshot id.
+func (sys *System) SnapshotExists(vol int, id uint64) bool {
+	return sys.a.Volume(vol).SnapshotExists(id)
+}
+
+// SnapshotIDs returns the volume's materialized snapshot IDs, ascending.
+func (sys *System) SnapshotIDs(vol int) []uint64 {
+	return sys.a.Volume(vol).SnapshotIDs()
+}
+
+// FreeSpace is a per-volume free-space breakdown over the VVBN space:
+// Active blocks are in the live file system, SnapOnly blocks are held only
+// by snapshots (active bit clear, summary bit set), Free blocks are
+// allocatable (clear in both maps).
+type FreeSpace struct {
+	Total    uint64
+	Active   uint64
+	SnapOnly uint64
+	Free     uint64
+}
+
+// FreeSpaceBreakdown computes the volume's active / snap-held / free block
+// counts from the live activemap and snapshot summary map.
+func (sys *System) FreeSpaceBreakdown(vol int) FreeSpace {
+	v := sys.a.Volume(vol)
+	total := v.VVBNBlocks()
+	free, _ := v.Activemap.CountFreeNotIn(v.Summary, 0, total)
+	active := v.Activemap.Used()
+	return FreeSpace{
+		Total:    total,
+		Active:   active,
+		SnapOnly: total - active - free,
+		Free:     free,
+	}
 }

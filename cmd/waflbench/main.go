@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations all")
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn all")
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
 	cleaners := flag.Int("cleaners", 4, "parallel cleaner-thread count for the permutation experiments")
@@ -99,6 +99,10 @@ func main() {
 	})
 	run("ablations", func() (harness.Table, error) {
 		t, err := harness.Ablations(rc)
+		return t, err
+	})
+	run("snapchurn", func() (harness.Table, error) {
+		t, _, err := harness.SnapshotChurn(rc)
 		return t, err
 	})
 }

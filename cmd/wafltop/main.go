@@ -25,7 +25,7 @@ import (
 func main() {
 	treeOnly := flag.Bool("tree", false, "print the affinity hierarchy only")
 	runFor := flag.Duration("run", 200*time.Millisecond, "simulated run length")
-	wl := flag.String("workload", "seq", "workload: seq | random | oltp | nfs")
+	wl := flag.String("workload", "seq", "workload: seq | random | oltp | nfs | snapchurn")
 	cleaners := flag.Int("cleaners", 4, "cleaner threads")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
@@ -55,6 +55,8 @@ func main() {
 		workload.DefaultOLTP().Attach(sys)
 	case "nfs":
 		workload.DefaultNFSMix().Attach(sys)
+	case "snapchurn":
+		workload.DefaultSnapChurn().Attach(sys)
 	default:
 		workload.DefaultSeqWrite().Attach(sys)
 	}
@@ -68,6 +70,16 @@ func main() {
 	fmt.Println()
 	fmt.Println("=== consistency points ===")
 	fmt.Println(sys.CPReport())
+	fmt.Println()
+	fmt.Println("=== volumes (snapshots & free-space split) ===")
+	created, deleted, reclaimed := sys.SnapStats()
+	fmt.Printf("%-4s  %6s  %10s  %10s  %10s\n", "vol", "snaps", "active", "snap-held", "free")
+	for v := 0; v < cfg.Volumes; v++ {
+		fs := sys.FreeSpaceBreakdown(v)
+		fmt.Printf("%-4d  %6d  %10d  %10d  %10d\n",
+			v, len(sys.SnapshotIDs(v)), fs.Active, fs.SnapOnly, fs.Free)
+	}
+	fmt.Printf("snapshot ops: %d created, %d deleted, %d blocks reclaimed\n", created, deleted, reclaimed)
 	fmt.Println()
 	fmt.Println("=== affinity hierarchy (Fig 1), messages executed ===")
 	fmt.Print(sys.Hierarchy())

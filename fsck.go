@@ -7,6 +7,7 @@ import (
 	"wafl/internal/aggregate"
 	"wafl/internal/block"
 	"wafl/internal/fs"
+	"wafl/internal/snap"
 )
 
 // FsckReport summarizes an offline consistency check of the committed
@@ -19,7 +20,9 @@ type FsckReport struct {
 	Missing          uint64 // referenced but not marked used (corruption)
 	ContainerErrs    uint64 // container-map entries disagreeing with trees
 	VVBNErrs         uint64 // volume activemap bits disagreeing with trees
+	SnapErrs         uint64 // summary/snapmap disagreements, ownerless bits
 	Files            uint64
+	Snapshots        uint64 // materialized snapshots found on media
 	Errors           []string
 }
 
@@ -27,13 +30,14 @@ type FsckReport struct {
 // space bug; Missing and DoubleRefs are corruption.
 func (r FsckReport) OK() bool {
 	return r.Missing == 0 && r.DoubleRefs == 0 && r.Leaked == 0 &&
-		r.ContainerErrs == 0 && r.VVBNErrs == 0 && len(r.Errors) == 0
+		r.ContainerErrs == 0 && r.VVBNErrs == 0 && r.SnapErrs == 0 &&
+		len(r.Errors) == 0
 }
 
 func (r FsckReport) String() string {
-	return fmt.Sprintf("fsck: refs=%d used=%d leaked=%d double=%d missing=%d containerErrs=%d vvbnErrs=%d files=%d errs=%d",
+	return fmt.Sprintf("fsck: refs=%d used=%d leaked=%d double=%d missing=%d containerErrs=%d vvbnErrs=%d snapErrs=%d files=%d snaps=%d errs=%d",
 		r.ReferencedBlocks, r.UsedBits, r.Leaked, r.DoubleRefs, r.Missing,
-		r.ContainerErrs, r.VVBNErrs, r.Files, len(r.Errors))
+		r.ContainerErrs, r.VVBNErrs, r.SnapErrs, r.Files, r.Snapshots, len(r.Errors))
 }
 
 // Fsck mounts the committed media image and cross-checks it: every block
@@ -110,6 +114,14 @@ func (sys *System) Fsck() FsckReport {
 		walk(v.InoFile(), fmt.Sprintf("vol%d-inofile", v.ID()), nil)
 		walk(v.ContainerFile(), fmt.Sprintf("vol%d-container", v.ID()), nil)
 		walk(v.AmapFile(), fmt.Sprintf("vol%d-amap", v.ID()), nil)
+		walk(v.SnapdirFile(), fmt.Sprintf("vol%d-snapdir", v.ID()), nil)
+		walk(v.SummaryFile(), fmt.Sprintf("vol%d-summary", v.ID()), nil)
+		snaps := v.Snapshots()
+		r.Snapshots += uint64(len(snaps))
+		for _, s := range snaps {
+			walk(s.Snapmap, fmt.Sprintf("vol%d-snap%d-snapmap", v.ID(), s.ID), nil)
+			walk(s.InoCopy, fmt.Sprintf("vol%d-snap%d-inocopy", v.ID(), s.ID), nil)
+		}
 		// User files, from inode records.
 		for ino := uint64(aggregate.FirstUserIno); ino < v.NextIno(); ino++ {
 			f := v.LookupFile(ino)
@@ -130,6 +142,42 @@ func (sys *System) Fsck() FsckReport {
 			})
 			// Dual-addressed indirect blocks also occupy VVBNs.
 			collectIndirectVVBNs(m, f, vvbnUsed)
+		}
+		// Snapshot cross-checks, bit by bit over the VVBN space. The
+		// persisted summary map must equal the OR of the persisted
+		// snapmaps: a summary bit no snapshot owns pins a block forever
+		// (space held with no owner); a snapmap bit missing from the
+		// summary lets the allocator reuse a block a snapshot still
+		// references. A VVBN held only by snapshots (clear in the
+		// activemap) must still have a valid container entry — that entry
+		// is the only path to the block's physical home, which we
+		// reference here so snapshot-held blocks are neither leaked nor
+		// reclaimable in the aggregate check below.
+		for bn := uint64(0); bn < v.VVBNBlocks(); bn++ {
+			held := false
+			for _, s := range snaps {
+				if snap.BitSet(s.Snapmap, bn) {
+					held = true
+					break
+				}
+			}
+			if sum := v.Summary.IsSet(bn); sum != held {
+				r.SnapErrs++
+				if sum {
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: summary bit %d set but no snapshot holds it", v.ID(), bn))
+				} else {
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: vvbn %d held by a snapmap but clear in summary", v.ID(), bn))
+				}
+			}
+			if held && !v.Activemap.IsSet(bn) {
+				pvbn := v.Container(block.VVBN(bn))
+				if pvbn == 0 || pvbn == block.InvalidVBN {
+					r.SnapErrs++
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: snapshot-held vvbn %d has no container entry", v.ID(), bn))
+				} else {
+					ref(pvbn, fmt.Sprintf("vol%d snap-held vvbn %d", v.ID(), bn))
+				}
+			}
 		}
 		// Cross-check the volume activemap against the referenced set
 		// bit by bit: a set bit nobody references is a leaked VVBN, a
@@ -212,6 +260,30 @@ func (sys *System) VerifyAgainst(vol int, ino uint64, fbn FBN) error {
 	}
 	if !bytes.Equal(got[:len(want)], want) {
 		return fmt.Errorf("vol %d ino %d fbn %d: content mismatch", vol, ino, fbn)
+	}
+	return nil
+}
+
+// SnapVerifyAgainst checks block fbn of ino inside snapshot snapID's frozen
+// image: when expectData is true the block must hold the oracle payload,
+// otherwise it must be a hole (test helper, untimed).
+func (sys *System) SnapVerifyAgainst(vol int, snapID, ino uint64, fbn FBN, expectData bool) error {
+	got, ok := sys.SnapVerifyRead(vol, snapID, ino, fbn)
+	if !ok {
+		return fmt.Errorf("vol %d snap %d: no image of ino %d", vol, snapID, ino)
+	}
+	if !expectData {
+		if got != nil {
+			return fmt.Errorf("vol %d snap %d ino %d fbn %d: data, want hole", vol, snapID, ino, fbn)
+		}
+		return nil
+	}
+	want := sys.payload(ino, fbn, 0)
+	if got == nil {
+		return fmt.Errorf("vol %d snap %d ino %d fbn %d: hole, want data", vol, snapID, ino, fbn)
+	}
+	if !bytes.Equal(got[:len(want)], want) {
+		return fmt.Errorf("vol %d snap %d ino %d fbn %d: frozen content mismatch", vol, snapID, ino, fbn)
 	}
 	return nil
 }

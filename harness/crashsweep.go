@@ -30,6 +30,10 @@ type CrashSweepConfig struct {
 	// Clients and OpsPerClient bound the workload.
 	Clients      int
 	OpsPerClient int
+	// SnapEvery, when > 0, makes each client run a snapshot op every
+	// SnapEvery ops: a create when the client holds no snapshot of its own,
+	// otherwise a delete of the one it holds (each client keeps at most one).
+	SnapEvery int
 	// BaseBlocks is the size of each client's preallocated base file.
 	BaseBlocks int64
 	// MaxRun bounds one simulated run segment.
@@ -68,6 +72,7 @@ func DefaultCrashSweep() CrashSweepConfig {
 		Phases:       9,
 		Clients:      4,
 		OpsPerClient: 200,
+		SnapEvery:    25,
 		BaseBlocks:   512,
 		MaxRun:       2 * wafl.Second,
 	}
@@ -96,11 +101,53 @@ type ackOp struct {
 	n    int
 }
 
+// snapKey identifies one snapshot across the sweep's bookkeeping maps.
+type snapKey struct {
+	vol int
+	id  uint64
+}
+
+// ackSnap is one acknowledged snapshot create. SnapCreate acks only after
+// the materializing CP commits, so an acked snapshot must survive any later
+// crash. image is the set of base-file blocks the owning client had written
+// (and been acked for) when the create returned: only that client writes its
+// base file and it blocks for the whole create, so the frozen image holds
+// exactly those blocks — written ones as the oracle payload, the rest holes.
+type ackSnap struct {
+	vol     int
+	id      uint64
+	baseIno uint64
+	image   map[wafl.FBN]bool
+}
+
 // ackLog collects acknowledged operations and workload progress. The
 // simulation serializes client threads, so no locking is needed.
 type ackLog struct {
-	ops  []ackOp
-	done int // clients finished
+	ops        []ackOp
+	snaps      []ackSnap        // acked snapshot creates ('s')
+	delIntent  map[snapKey]bool // snapshot delete issued, maybe unacked ('T')
+	delAcked   map[snapKey]bool // snapshot delete acknowledged ('t')
+	baseBlocks int64            // base-file span, for hole probing
+	done       int              // clients finished
+}
+
+func newAckLog() *ackLog {
+	return &ackLog{delIntent: map[snapKey]bool{}, delAcked: map[snapKey]bool{}}
+}
+
+// freeze returns an immutable copy of the ack state for post-crash checks.
+func (a *ackLog) freeze() *ackLog {
+	c := newAckLog()
+	c.baseBlocks = a.baseBlocks
+	c.ops = append([]ackOp(nil), a.ops...)
+	c.snaps = append([]ackSnap(nil), a.snaps...)
+	for k := range a.delIntent {
+		c.delIntent[k] = true
+	}
+	for k := range a.delAcked {
+		c.delAcked[k] = true
+	}
+	return c
 }
 
 // sweepWorkload attaches the oracle workload: per client, a mix of writes
@@ -114,7 +161,28 @@ func sweepWorkload(sys *wafl.System, cfg CrashSweepConfig, base []uint64, ack *a
 		ino := base[i]
 		sys.ClientThread(fmt.Sprintf("sweep-%d", i), func(c *wafl.ClientCtx) {
 			var mine []uint64 // own created files, oldest first
+			var ownSnap uint64
+			written := map[wafl.FBN]bool{} // acked base-file blocks
 			for op := 0; op < cfg.OpsPerClient && c.Alive(); op++ {
+				if cfg.SnapEvery > 0 && op%cfg.SnapEvery == cfg.SnapEvery-1 {
+					if ownSnap != 0 {
+						k := snapKey{vol, ownSnap}
+						ack.delIntent[k] = true
+						if c.SnapDelete(vol, ownSnap) {
+							ack.delAcked[k] = true
+						}
+						ownSnap = 0
+					} else {
+						id := c.SnapCreate(vol)
+						img := make(map[wafl.FBN]bool, len(written))
+						for k := range written {
+							img[k] = true
+						}
+						ack.snaps = append(ack.snaps, ackSnap{vol, id, ino, img})
+						ownSnap = id
+					}
+					continue
+				}
 				r := c.Rand(10)
 				switch {
 				case r < 7:
@@ -122,6 +190,9 @@ func sweepWorkload(sys *wafl.System, cfg CrashSweepConfig, base []uint64, ack *a
 					n := 1 + int(c.Rand(4))
 					c.Write(vol, ino, fbn, n)
 					ack.ops = append(ack.ops, ackOp{'w', vol, ino, fbn, n})
+					for b := 0; b < n; b++ {
+						written[fbn+wafl.FBN(b)] = true
+					}
 				case r == 7:
 					f := c.Create(vol, 64)
 					ack.ops = append(ack.ops, ackOp{'c', vol, f, 0, 0})
@@ -163,15 +234,18 @@ func buildSweepSystem(cfg CrashSweepConfig, seed int64) (*wafl.System, *ackLog, 
 		sys.Shutdown()
 		return nil, nil, 0, fmt.Errorf("setup flush: %w", err)
 	}
-	ack := &ackLog{}
+	ack := newAckLog()
+	ack.baseBlocks = cfg.BaseBlocks
 	sweepWorkload(sys, cfg, base, ack)
 	return sys, ack, sys.Events(), nil
 }
 
 // verifyAcked checks every acknowledged operation against the system: a
-// created-and-not-deleted file exists, a deleted file does not, and every
-// write to a live file reads back as the oracle payload.
-func verifyAcked(sys *wafl.System, ops []ackOp, label string, fails []string) []string {
+// created-and-not-deleted file exists, a deleted file does not, every write
+// to a live file reads back as the oracle payload, and every acknowledged
+// snapshot still serves its exact frozen image (acked deletes stay deleted).
+func verifyAcked(sys *wafl.System, ack *ackLog, label string, fails []string) []string {
+	ops := ack.ops
 	type fileKey struct {
 		vol int
 		ino uint64
@@ -218,8 +292,55 @@ func verifyAcked(sys *wafl.System, ops []ackOp, label string, fails []string) []
 			}
 		}
 	}
+	// Snapshot images: an acked create must exist (unless its delete was at
+	// least issued) and serve exactly the frozen base-file image — the
+	// oracle payload where the owner had written, holes everywhere else. An
+	// acked delete must stay deleted across recovery.
+	for _, s := range ack.snaps {
+		k := snapKey{s.vol, s.id}
+		if ack.delAcked[k] {
+			if sys.SnapshotExists(s.vol, s.id) {
+				fails = add(fmt.Sprintf("%s: acked snap delete vol%d id%d resurrected", label, s.vol, s.id))
+			}
+			continue
+		}
+		if !sys.SnapshotExists(s.vol, s.id) {
+			if !ack.delIntent[k] {
+				fails = add(fmt.Sprintf("%s: acked snapshot vol%d id%d lost", label, s.vol, s.id))
+			}
+			continue
+		}
+		bad := false
+		for fbn := range s.image {
+			if err := sys.SnapVerifyAgainst(s.vol, s.id, s.baseIno, fbn, true); err != nil {
+				fails = add(fmt.Sprintf("%s: snap image: %v", label, err))
+				bad = true
+				break
+			}
+		}
+		if bad {
+			continue
+		}
+		// Hole direction: probe a few unwritten blocks inside the base
+		// file's span.
+		probed := 0
+		for fbn := wafl.FBN(0); probed < sampleHoles && fbn < wafl.FBN(ack.baseBlocks); fbn++ {
+			if s.image[fbn] {
+				continue
+			}
+			if err := sys.SnapVerifyAgainst(s.vol, s.id, s.baseIno, fbn, false); err != nil {
+				fails = add(fmt.Sprintf("%s: snap image: %v", label, err))
+				break
+			}
+			probed++
+		}
+	}
 	return fails
 }
+
+// sampleHoles is how many unwritten base-file blocks each snapshot-image
+// verification probes for the hole direction.
+const sampleHoles = 8
 
 // crashCycle performs the full per-crash-point check on a halted system:
 // crash → recover → verify + fsck, immediately crash the recovered system
@@ -227,7 +348,7 @@ func verifyAcked(sys *wafl.System, ops []ackOp, label string, fails []string) []
 // it quiesce and verify the final committed image. Returns the surviving
 // failure list and the final system (for Shutdown), which may be nil if
 // recovery itself failed.
-func crashCycle(sys *wafl.System, acked []ackOp, label string, fails []string) ([]string, *wafl.System) {
+func crashCycle(sys *wafl.System, acked *ackLog, label string, fails []string) ([]string, *wafl.System) {
 	sys.Crash()
 	rec, err := sys.Recover()
 	if err != nil {
@@ -313,7 +434,7 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 				continue
 			}
 			var final *wafl.System
-			res.Failures, final = crashCycle(sys, append([]ackOp(nil), ack.ops...), label, res.Failures)
+			res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
 			res.PointsRun++
 			if final != nil {
 				final.Shutdown()
@@ -365,7 +486,7 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 			}
 			label := fmt.Sprintf("seed%d@phase%d(%s)", seed, j, phaseName)
 			var final *wafl.System
-			res.Failures, final = crashCycle(sys, append([]ackOp(nil), ack.ops...), label, res.Failures)
+			res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
 			res.PointsRun++
 			points++
 			if final != nil {

@@ -8,11 +8,13 @@ import (
 	"wafl/internal/block"
 	"wafl/internal/fs"
 	"wafl/internal/sim"
+	"wafl/internal/snap"
 )
 
 // VolEntrySize is the on-disk size of a volume-table entry: a header plus
-// the records of the volume's three metafiles.
-const VolEntrySize = 256
+// the records of the volume's five metafiles (inode file, container map,
+// activemap, snapdir, snapshot summary map).
+const VolEntrySize = 512
 
 // VolEntriesPerBlock is the number of volume entries per volume-table block.
 const VolEntriesPerBlock = block.Size / VolEntrySize
@@ -27,9 +29,19 @@ const (
 	inoVolInofile   = 1
 	inoVolContainer = 2
 	inoVolActivemap = 3
+	inoVolSnapdir   = 4
+	inoVolSummary   = 5
 	// FirstUserIno is the first inode number handed to user files.
 	FirstUserIno = 16
 )
+
+// snapMetaIno synthesizes inode numbers for a snapshot's private metafiles
+// (snapmap, inocopy). They live outside the inode file — their records are
+// held by snapdir entries — so the numbers only matter for debugging and
+// fsck labels.
+func snapMetaIno(snapID uint64, which uint64) uint64 {
+	return 1<<32 + snapID*2 + which
+}
 
 // Volume is a FlexVol: a virtual VVBN block space inside the aggregate,
 // with its own activemap, container map (vvbn->pvbn), and inode file. All
@@ -44,6 +56,22 @@ type Volume struct {
 	amapFile  *fs.File
 	container *fs.File
 	inofile   *fs.File
+
+	// Snapshot state. Summary is the OR of all live snapmaps; the write
+	// allocator consults it so snapshot-held VVBNs are never reused
+	// (free = !active && !summary). snapdir persists the snapshot set.
+	Summary     *bitmap.Activemap
+	summaryFile *fs.File
+	snapdir     *fs.File
+	snaps       map[uint64]*snap.Snapshot
+	snapOrder   []uint64 // live snapshot IDs, ascending (determinism)
+	nextSnapID  uint64
+	snapSlots   int // snapdir slots written on disk (for zeroing on shrink)
+
+	// pendSnaps are requested snapshot creates awaiting the next CP freeze;
+	// snapZombies are deleted snapshots awaiting CP-side reclamation.
+	pendSnaps   []uint64
+	snapZombies []*snap.Snapshot
 
 	files   map[uint64]*fs.File
 	nextIno uint64
@@ -73,6 +101,8 @@ func (a *Aggregate) AddVolume(vvbnBlocks uint64) *Volume {
 		dirty:       make(map[uint64]*fs.File),
 		recordDirty: make(map[uint64]*fs.File),
 		deleted:     make(map[uint64]bool),
+		snaps:       make(map[uint64]*snap.Snapshot),
+		nextSnapID:  1,
 	}
 	amapBlocks := (vvbnBlocks + bitmap.BitsPerBlock - 1) / bitmap.BitsPerBlock
 	v.amapFile = fs.NewFile(inoVolActivemap, fs.HeightFor(amapBlocks+1))
@@ -80,6 +110,9 @@ func (a *Aggregate) AddVolume(vvbnBlocks uint64) *Volume {
 	v.container = fs.NewFile(inoVolContainer, fs.HeightFor(contBlocks+1))
 	v.inofile = fs.NewFile(inoVolInofile, fs.HeightFor(1<<16))
 	v.Activemap = bitmap.New(v.amapFile, vvbnBlocks)
+	v.summaryFile = fs.NewFile(inoVolSummary, fs.HeightFor(amapBlocks+1))
+	v.Summary = bitmap.New(v.summaryFile, vvbnBlocks)
+	v.snapdir = fs.NewFile(inoVolSnapdir, fs.HeightFor(64))
 	a.vols = append(a.vols, v)
 	return v
 }
@@ -102,9 +135,18 @@ func (v *Volume) ContainerFile() *fs.File { return v.container }
 // InoFile returns the inode-file metafile.
 func (v *Volume) InoFile() *fs.File { return v.inofile }
 
-// Metafiles returns the volume's three metafiles.
+// SnapdirFile returns the snapshot-directory metafile.
+func (v *Volume) SnapdirFile() *fs.File { return v.snapdir }
+
+// SummaryFile returns the snapshot summary map's backing metafile.
+func (v *Volume) SummaryFile() *fs.File { return v.summaryFile }
+
+// Metafiles returns the volume's permanent metafiles, in CP cleaning order.
+// Snapshot snapmap/inocopy metafiles are not listed: they are written once
+// by the materializing CP (which cleans them explicitly) and immutable
+// afterwards.
 func (v *Volume) Metafiles() []*fs.File {
-	return []*fs.File{v.inofile, v.container, v.amapFile}
+	return []*fs.File{v.inofile, v.container, v.amapFile, v.snapdir, v.summaryFile}
 }
 
 // SetContainer records that vvbn now lives at pvbn, dirtying the owning
@@ -201,15 +243,22 @@ func (v *Volume) DeferZombie(f *fs.File) {
 
 // ZombieBlocks walks a zombie file's persisted tree on committed media and
 // returns every physical block it occupies and every virtual block it
-// holds in the volume's VVBN space. The walk's cost in metafile reads is
-// returned as a block count for CPU charging.
+// holds in the volume's VVBN space. Blocks whose VVBN is held by a snapshot
+// (summary map) keep their physical homes: the VVBN leaves the active map
+// but the pvbn stays allocated until the last holding snapshot is deleted.
+// The walk's cost in metafile reads is returned as a block count for CPU
+// charging.
 func (v *Volume) ZombieBlocks(f *fs.File) (pvbns []uint64, vvbns []uint64, walked int) {
 	if f.RootVBN == block.InvalidVBN {
 		return nil, nil, 0
 	}
-	pvbns = append(pvbns, uint64(f.RootVBN))
 	if f.RootVVBN != block.InvalidVVBN {
 		vvbns = append(vvbns, uint64(f.RootVVBN))
+		if !v.Summary.IsSet(uint64(f.RootVVBN)) {
+			pvbns = append(pvbns, uint64(f.RootVBN))
+		}
+	} else {
+		pvbns = append(pvbns, uint64(f.RootVBN))
 	}
 	var rec func(level int, vbn block.VBN)
 	rec = func(level int, vbn block.VBN) {
@@ -226,9 +275,13 @@ func (v *Volume) ZombieBlocks(f *fs.File) (pvbns []uint64, vvbns []uint64, walke
 			if cvbn == 0 || cvbn == block.InvalidVBN {
 				continue
 			}
-			pvbns = append(pvbns, uint64(cvbn))
 			if cvv != block.InvalidVVBN {
 				vvbns = append(vvbns, uint64(cvv))
+				if !v.Summary.IsSet(uint64(cvv)) {
+					pvbns = append(pvbns, uint64(cvbn))
+				}
+			} else {
+				pvbns = append(pvbns, uint64(cvbn))
 			}
 			rec(level-1, cvbn)
 		}
@@ -434,9 +487,15 @@ func (v *Volume) encodeEntry(dst []byte) {
 	binary.LittleEndian.PutUint64(dst[8:], v.vvbnBlocks)
 	binary.LittleEndian.PutUint64(dst[16:], v.nextIno)
 	binary.LittleEndian.PutUint32(dst[24:], 1) // in use
+	binary.LittleEndian.PutUint64(dst[32:], v.nextSnapID)
+	// Unreclaimed zombies stay on media as live snapshots (see
+	// WriteSnapdirEntries); the persisted count covers them too.
+	binary.LittleEndian.PutUint32(dst[40:], uint32(len(v.snapOrder)+len(v.snapZombies)))
 	fs.EncodeRecord(dst[64:], v.inofile.RecordOf(fs.FlagMetafile))
 	fs.EncodeRecord(dst[128:], v.container.RecordOf(fs.FlagMetafile))
 	fs.EncodeRecord(dst[192:], v.amapFile.RecordOf(fs.FlagMetafile))
+	fs.EncodeRecord(dst[256:], v.snapdir.RecordOf(fs.FlagMetafile))
+	fs.EncodeRecord(dst[320:], v.summaryFile.RecordOf(fs.FlagMetafile))
 }
 
 // WriteVolumeEntries serializes every volume's entry into the volume table,
@@ -468,13 +527,47 @@ func (a *Aggregate) decodeVolume(src []byte) *Volume {
 		dirty:       make(map[uint64]*fs.File),
 		recordDirty: make(map[uint64]*fs.File),
 		deleted:     make(map[uint64]bool),
+		snaps:       make(map[uint64]*snap.Snapshot),
+		nextSnapID:  binary.LittleEndian.Uint64(src[32:]),
 	}
+	snapCount := int(binary.LittleEndian.Uint32(src[40:]))
 	v.inofile = fs.FileFromRecord(fs.DecodeRecord(src[64:]))
 	v.container = fs.FileFromRecord(fs.DecodeRecord(src[128:]))
 	v.amapFile = fs.FileFromRecord(fs.DecodeRecord(src[192:]))
+	v.snapdir = fs.FileFromRecord(fs.DecodeRecord(src[256:]))
+	v.summaryFile = fs.FileFromRecord(fs.DecodeRecord(src[320:]))
 	a.loadAll(v.inofile)
 	a.loadAll(v.container)
 	a.loadAll(v.amapFile)
+	a.loadAll(v.snapdir)
+	a.loadAll(v.summaryFile)
 	v.Activemap = bitmap.Rebind(v.amapFile, v.vvbnBlocks)
+	v.Summary = bitmap.Rebind(v.summaryFile, v.vvbnBlocks)
+	// Rebuild the snapshot set from the snapdir content.
+	for slot := 0; slot < snapCount; slot++ {
+		buf := v.snapdir.Buffer(0, block.FBN(slot/snap.EntriesPerBlock))
+		if buf == nil {
+			panic(fmt.Sprintf("volume %d: snapdir slot %d not on media", v.id, slot))
+		}
+		s := snap.DecodeEntry(buf.Data()[(slot%snap.EntriesPerBlock)*snap.EntrySize:])
+		if s == nil {
+			panic(fmt.Sprintf("volume %d: snapdir slot %d empty, want %d snapshots", v.id, slot, snapCount))
+		}
+		a.loadAll(s.Snapmap)
+		a.loadAll(s.InoCopy)
+		v.snaps[s.ID] = s
+		v.snapOrder = append(v.snapOrder, s.ID)
+	}
+	// Zombie entries are written after the live ones, so slot order is not
+	// necessarily ID order; restore the ascending invariant.
+	for i := 1; i < len(v.snapOrder); i++ {
+		for j := i; j > 0 && v.snapOrder[j-1] > v.snapOrder[j]; j-- {
+			v.snapOrder[j-1], v.snapOrder[j] = v.snapOrder[j], v.snapOrder[j-1]
+		}
+	}
+	v.snapSlots = snapCount
+	if v.nextSnapID == 0 {
+		v.nextSnapID = 1
+	}
 	return v
 }

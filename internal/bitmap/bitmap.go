@@ -177,6 +177,93 @@ func (a *Activemap) FindFree(dst []uint64, start, end uint64, max int) ([]uint64
 	return dst, words
 }
 
+// OrFrom ORs every set bit of the src metafile's bitmap content into this
+// map, dirtying changed metafile blocks into the running CP and maintaining
+// the free count. It is the bulk path for folding a snapmap into a volume's
+// snapshot summary map: per-bit Set would charge one metafile dirty per bit,
+// where one CP only needs one per changed block. Returns the number of newly
+// set bits.
+func (a *Activemap) OrFrom(src *fs.File) uint64 {
+	newly := uint64(0)
+	nblocks := (a.nbits + BitsPerBlock - 1) / BitsPerBlock
+	for fbn := block.FBN(0); uint64(fbn) < nblocks; fbn++ {
+		sbuf := src.Buffer(0, fbn)
+		if sbuf == nil {
+			continue // src block all-clear
+		}
+		sd := sbuf.Data()
+		dbuf := a.file.GetOrCreateL0(fbn)
+		changed := false
+		dd := dbuf.Data()
+		for off := 0; off < block.Size; off += 8 {
+			sw := binary.LittleEndian.Uint64(sd[off:])
+			if sw == 0 {
+				continue
+			}
+			dw := binary.LittleEndian.Uint64(dd[off:])
+			if sw&^dw == 0 {
+				continue
+			}
+			if !changed {
+				dd = dbuf.CPMutableData()
+				dw = binary.LittleEndian.Uint64(dd[off:])
+				changed = true
+			}
+			newly += uint64(bits.OnesCount64(sw &^ dw))
+			binary.LittleEndian.PutUint64(dd[off:], dw|sw)
+		}
+		if changed {
+			a.file.DirtyIntoCP(dbuf)
+		}
+	}
+	a.free -= newly
+	a.SetOps += newly
+	return newly
+}
+
+// CountFreeNotIn returns the number of bits in [start, end) clear in both
+// this map and mask — the allocatable population when mask is a snapshot
+// summary map holding blocks out of the free pool — plus the words scanned.
+// A nil mask degenerates to CountFree.
+func (a *Activemap) CountFreeNotIn(mask *Activemap, start, end uint64) (uint64, int) {
+	if mask == nil {
+		return a.CountFree(start, end)
+	}
+	if end > a.nbits {
+		end = a.nbits
+	}
+	n := uint64(0)
+	words := 0
+	for bn := start; bn < end; {
+		buf := a.file.GetOrCreateL0(BlockOf(bn))
+		data := buf.Data()
+		var mdata []byte
+		if mbuf := mask.file.Buffer(0, BlockOf(bn)); mbuf != nil {
+			mdata = mbuf.Data()
+		}
+		blockEnd := (uint64(BlockOf(bn)) + 1) * BitsPerBlock
+		if blockEnd > end {
+			blockEnd = end
+		}
+		for bn < blockEnd {
+			wordStart := bn &^ 63
+			byteOff := (wordStart % BitsPerBlock) / 8
+			w := binary.LittleEndian.Uint64(data[byteOff:])
+			if mdata != nil {
+				w |= binary.LittleEndian.Uint64(mdata[byteOff:])
+			}
+			words++
+			w |= (1 << (bn - wordStart)) - 1
+			if wordEnd := wordStart + 64; wordEnd > blockEnd {
+				w |= ^uint64(0) << (blockEnd - wordStart)
+			}
+			n += uint64(bits.OnesCount64(^w))
+			bn = wordStart + 64
+		}
+	}
+	return n, words
+}
+
 // CountFree returns the number of free bits in [start, end) and the number
 // of words scanned.
 func (a *Activemap) CountFree(start, end uint64) (uint64, int) {

@@ -433,8 +433,13 @@ func (p *Pool) cleanFile(cs *cleanerState, job *Job, f *fs.File) {
 				p.in.CleanerCounterAdd(t, cs.tok, p.in.VolFreeID(job.Vol.ID()), -1)
 			}
 
-			// Stage the frees of the overwritten locations.
-			if oldVBN != block.InvalidVBN && oldVBN != 0 {
+			// Stage the frees of the overwritten locations. A snapshot-held
+			// old VVBN (summary map) keeps its physical home: the VVBN
+			// leaves the active map but the pvbn stays allocated for the
+			// snapshot image until the last holding snapshot is deleted.
+			snapHeld := job.Dual && oldVVBN != block.InvalidVVBN &&
+				job.Vol.Summary.IsSet(uint64(oldVVBN))
+			if oldVBN != block.InvalidVBN && oldVBN != 0 && !snapHeld {
 				t.Consume(p.costs.StagePush)
 				cs.stagePhys = append(cs.stagePhys, uint64(oldVBN))
 				p.in.CleanerCounterAdd(t, cs.tok, p.in.AggrFreeID(), 1)

@@ -115,6 +115,17 @@ func (in *Infra) DrainOps(t *sim.Thread) {
 	}
 }
 
+// DrainFrees waits for outstanding infrastructure messages — in particular
+// staged free commits — WITHOUT entering drain mode: bucket caches and fill
+// pipelines keep running. The CP engine calls it between file-zombie and
+// snapshot-zombie processing, where snapshot reclaim must observe the
+// settled activemap.
+func (in *Infra) DrainFrees(t *sim.Thread) {
+	for in.pendingOps > 0 {
+		in.drainCond.Wait(t)
+	}
+}
+
 // DrainIO waits for every outstanding storage I/O after ops are drained.
 func (in *Infra) DrainIO(t *sim.Thread) {
 	for in.pendingOps > 0 || in.pendingIO > 0 {

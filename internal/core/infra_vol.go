@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"wafl/internal/aggregate"
 	"wafl/internal/bitmap"
 	"wafl/internal/block"
@@ -13,9 +15,10 @@ import (
 // block (and one Range affinity).
 const vRegionBits = bitmap.BitsPerBlock
 
-// selectVRegion picks the virtual region with the most free VVBNs,
-// excluding regions already used this CP. The scan cost is charged by the
-// caller via the returned word count.
+// selectVRegion picks the virtual region with the most allocatable VVBNs —
+// free meaning clear in both the activemap and the snapshot summary map
+// (free = !active && !summary) — excluding regions already used this CP.
+// The scan cost is charged by the caller via the returned word count.
 func (in *Infra) selectVRegion(vs *volState) (int, int) {
 	nRegions := int((vs.vol.VVBNBlocks() + vRegionBits - 1) / vRegionBits)
 	best, words := -1, 0
@@ -26,7 +29,7 @@ func (in *Infra) selectVRegion(vs *volState) (int, int) {
 		}
 		lo := uint64(r) * vRegionBits
 		hi := lo + vRegionBits
-		n, w := vs.vol.Activemap.CountFree(lo, hi)
+		n, w := vs.vol.Activemap.CountFreeNotIn(vs.vol.Summary, lo, hi)
 		words += w
 		if n > bestFree {
 			best, bestFree = r, n
@@ -49,7 +52,9 @@ func (in *Infra) findFreeVirt(vs *volState, lo, hi uint64, max int) ([]block.VVB
 			if len(out) == max {
 				break
 			}
-			if vs.pendingFree.test(bn) || vs.reserved.test(bn) {
+			// free = !active && !summary: a clear activemap bit whose VVBN a
+			// snapshot still holds is not allocatable.
+			if vs.pendingFree.test(bn) || vs.reserved.test(bn) || vs.vol.Summary.IsSet(bn) {
 				continue
 			}
 			out = append(out, block.VVBN(bn))
@@ -201,6 +206,9 @@ func (in *Infra) commitVBucketBody(wt *sim.Thread, vs *volState, vb *VBucket) {
 			sim.Duration(len(used))*in.costs.CommitPerBit+
 			sim.Duration(len(used))*in.costs.ContainerEntry)
 	for i, vv := range used {
+		if vb.vol.Summary.IsSet(uint64(vv)) {
+			panic(fmt.Sprintf("core: vol %d allocated snapshot-held vvbn %d", vb.vol.ID(), vv))
+		}
 		vb.vol.Activemap.Set(uint64(vv))
 		vb.vol.SetContainer(vv, vb.pvbns[i])
 	}

@@ -17,6 +17,7 @@ import (
 	"wafl/internal/nvlog"
 	"wafl/internal/obs"
 	"wafl/internal/sim"
+	"wafl/internal/snap"
 	"wafl/internal/storage"
 	"wafl/internal/waffinity"
 )
@@ -27,6 +28,9 @@ type Stats struct {
 	InodesCleaned   uint64
 	RecordsWritten  uint64
 	ZombiesReaped   uint64
+	SnapsCreated    uint64
+	SnapsDeleted    uint64
+	SnapReclaimed   uint64 // physical blocks returned by snapshot deletes
 	AmapWrites      uint64
 	TotalDuration   sim.Duration
 	LastDuration    sim.Duration
@@ -53,7 +57,8 @@ type Engine struct {
 	running bool
 	stopped bool
 
-	obsTid int32 // interned CP-phase trace track id + 1; 0 = unset
+	obsTid     int32 // interned CP-phase trace track id + 1; 0 = unset
+	obsSnapTid int32 // interned snapshot-event trace track id + 1; 0 = unset
 
 	// phaseHook, when set, is consulted at every CP phase boundary with the
 	// boundary's name. Returning true means "the crash harness wants to
@@ -83,6 +88,15 @@ func (e *Engine) track(tr *obs.Tracer) int32 {
 		e.obsTid = tr.Track(obs.PidCP, "phases") + 1
 	}
 	return e.obsTid - 1
+}
+
+// snapTrack returns the snapshot-event trace track, interning it on first
+// use. Snapshot create/delete/reclaim instants land here.
+func (e *Engine) snapTrack(tr *obs.Tracer) int32 {
+	if e.obsSnapTid == 0 {
+		e.obsSnapTid = tr.Track(obs.PidCP, "snapshots") + 1
+	}
+	return e.obsSnapTid - 1
 }
 
 // phaseSpan emits one CP phase span and returns the phase's end time, the
@@ -161,7 +175,19 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.boundary(t, "start")
 	// Phase 1: freeze. Atomically capture the dirty state: switch NVRAM
 	// halves and move every dirty inode's buffers into its frozen set.
+	// Pending snapshot creates are taken in the same atomic cut (no yield
+	// between the switch and the take): a create logged to the frozen half
+	// is materialized by this CP, one logged after the switch waits for the
+	// next — so an acked create is always covered by a committed CP or a
+	// surviving log record.
 	e.log.Switch()
+	snapPend := make(map[int][]uint64)
+	snapSetChanged := make(map[int]bool)
+	for _, v := range e.a.Volumes() {
+		if p := v.TakePendingSnapshots(); len(p) > 0 {
+			snapPend[v.ID()] = p
+		}
+	}
 	var dirtyVols []*aggregate.Volume
 	frozen := make(map[int][]*fs.File)
 	for _, v := range e.a.Volumes() {
@@ -177,6 +203,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 	// reclaimed through the same free-commit machinery, and their inode
 	// records cleared. Deferred deletion, as in WAFL.
 	e.in.StartCP(dirtyVols)
+	snapZombies := make(map[int][]*snap.Snapshot)
 	for _, v := range e.a.Volumes() {
 		for _, z := range v.TakeZombies() {
 			if z.FrozenCount() > 0 {
@@ -196,6 +223,42 @@ func (e *Engine) runCP(t *sim.Thread) {
 			e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(len(vvbns)))
 			v.ClearRecord(z.Ino())
 			e.stats.ZombiesReaped++
+		}
+		if z := v.TakeSnapZombies(); len(z) > 0 {
+			snapZombies[v.ID()] = z
+		}
+	}
+	if len(snapZombies) > 0 {
+		// The file-zombie free commits above are applied asynchronously by
+		// range-affinity messages. A snapshot reclaim diffs the victim's
+		// snapmap against activemap *content*, so an in-flight clear — a file
+		// deleted in this CP whose blocks a dying snapshot holds — would make
+		// the reclaim see the VVBN as still active: it would clear the summary
+		// bit but never free the physical block, leaking it permanently. Wait
+		// for the messages to settle (without entering drain mode — the
+		// cleaning phase's fill pipeline hasn't started yet).
+		e.in.DrainFrees(t)
+	}
+	for _, v := range e.a.Volumes() {
+		// Snapshot zombies: diff the victim's snapmap against the active map
+		// and surviving snapmaps, clear the summary bits nobody else holds,
+		// and return exclusively-held blocks (plus the snapshot's own
+		// metafile trees) to the aggregate. Same-CP physical reuse is fenced
+		// by the pending-free set, exactly like file zombie frees.
+		zombies := snapZombies[v.ID()]
+		for zi, z := range zombies {
+			pvbns, freedVVBNs, walked := v.ReclaimSnapshot(z, zombies[zi+1:])
+			t.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
+			e.in.CommitFrees(t, -1, pvbns)
+			e.in.Counters.Add(e.in.AggrFreeID(), int64(len(pvbns)))
+			e.stats.SnapsDeleted++
+			e.stats.SnapReclaimed += uint64(len(pvbns))
+			snapSetChanged[v.ID()] = true
+			_ = freedVVBNs
+			if tr != nil {
+				tr.InstantArg(obs.PidCP, e.snapTrack(tr), "snap", "snap-delete", int64(t.Now()), int64(z.ID))
+				tr.Observe("snap.reclaimed", int64(len(pvbns)))
+			}
 		}
 	}
 
@@ -220,6 +283,29 @@ func (e *Engine) runCP(t *sim.Thread) {
 	}
 	e.boundary(t, "clean")
 
+	// Phase 2b: snapshot capture, part one. With cleaning drained, the
+	// volume activemaps hold this CP's final allocation state: copy each
+	// pending snapshot's snapmap from the live amap content and fold it into
+	// the summary map. (The inode-file half of the image is captured after
+	// phase 3, once records are written.)
+	type pendingSnap struct {
+		vol *aggregate.Volume
+		s   *snap.Snapshot
+	}
+	var newSnaps []pendingSnap
+	for _, v := range e.a.Volumes() {
+		for _, id := range snapPend[v.ID()] {
+			s, copied := v.MaterializeSnapshot(id, e.a.CPCount()+1)
+			t.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
+			newSnaps = append(newSnaps, pendingSnap{vol: v, s: s})
+			snapSetChanged[v.ID()] = true
+			e.stats.SnapsCreated++
+			if tr != nil {
+				tr.InstantArg(obs.PidCP, e.snapTrack(tr), "snap", "snap-create", int64(t.Now()), int64(id))
+			}
+		}
+	}
+
 	// Phase 3: inode records. Roots are final; serialize the records into
 	// the inode files.
 	metaStart := t.Now()
@@ -237,10 +323,24 @@ func (e *Engine) runCP(t *sim.Thread) {
 	}
 	e.boundary(t, "records")
 
+	// Phase 3b: snapshot capture, part two. Inode-file content is final
+	// (records written, deleted records cleared): copy it into each new
+	// snapshot's inocopy metafile. Both snapshot metafiles are then cleaned
+	// alongside the volume metafiles in phase 4.
+	var snapJobs []*core.Job
+	for _, ps := range newSnaps {
+		copied := snap.CopyContent(ps.s.InoCopy, ps.vol.InoFile())
+		t.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
+		snapJobs = append(snapJobs,
+			&core.Job{Vol: ps.vol, Files: []*fs.File{ps.s.Snapmap}, Mode: core.JobFull},
+			&core.Job{Vol: ps.vol, Files: []*fs.File{ps.s.InoCopy}, Mode: core.JobFull})
+	}
+
 	// Phase 4: volume metafiles (inode file, container map, volume
-	// activemap), cleaned through the same allocator.
+	// activemap, snapdir, summary map) plus any newborn snapshot metafiles,
+	// cleaned through the same allocator.
 	e.in.Prefill()
-	var metaJobs []*core.Job
+	metaJobs := snapJobs
 	for _, v := range e.a.Volumes() {
 		for _, mf := range v.Metafiles() {
 			if mf.FrozenCount() > 0 {
@@ -254,7 +354,24 @@ func (e *Engine) runCP(t *sim.Thread) {
 	}
 	e.boundary(t, "metafiles")
 
-	// Phase 5: volume table.
+	// Phase 5: snapdir + volume table. Volumes whose snapshot set changed
+	// rewrite their snapdir from the live set — the snapmap/inocopy roots
+	// are final after phase 4 — and the snapdir is cleaned before the
+	// volume-table entries (which hold its root) are serialized.
+	var sdJobs []*core.Job
+	for _, v := range e.a.Volumes() {
+		if !snapSetChanged[v.ID()] {
+			continue
+		}
+		v.WriteSnapdirEntries()
+		t.Consume(e.costs.RecordWrite)
+		if v.SnapdirFile().FrozenCount() > 0 {
+			sdJobs = append(sdJobs, &core.Job{Vol: v, Files: []*fs.File{v.SnapdirFile()}, Mode: core.JobFull})
+		}
+	}
+	if len(sdJobs) > 0 {
+		e.pool.RunPhase(t, sdJobs)
+	}
 	e.a.WriteVolumeEntries()
 	if e.a.VolTableFile().FrozenCount() > 0 {
 		e.pool.RunPhase(t, []*core.Job{{Files: []*fs.File{e.a.VolTableFile()}, Mode: core.JobFull}})
@@ -355,6 +472,10 @@ func (e *Engine) VerifyClean() error {
 	for _, v := range e.a.Volumes() {
 		for _, mf := range v.Metafiles() {
 			check(mf, fmt.Sprintf("vol%d metafile", v.ID()))
+		}
+		for _, s := range v.Snapshots() {
+			check(s.Snapmap, fmt.Sprintf("vol%d snap%d snapmap", v.ID(), s.ID))
+			check(s.InoCopy, fmt.Sprintf("vol%d snap%d inocopy", v.ID(), s.ID))
 		}
 	}
 	if len(bad) > 0 {

@@ -18,11 +18,14 @@ import (
 // OpKind identifies a logged operation type.
 type OpKind uint8
 
-// Logged operation kinds.
+// Logged operation kinds. Snapshot ops reuse the Ino field for the snapshot
+// ID.
 const (
 	OpWrite OpKind = iota + 1
 	OpCreate
 	OpDelete
+	OpSnapCreate
+	OpSnapDelete
 )
 
 // recordOverhead approximates the per-record NVRAM header cost in bytes.

@@ -1,0 +1,195 @@
+// Package snap implements per-volume point-in-time snapshots. A snapshot is
+// taken atomically at a consistency-point boundary: the CP engine captures
+// the volume's activemap content as a dedicated **snapmap** metafile and the
+// inode-file content as an **inocopy** metafile, then folds the snapmap into
+// the volume's **summary map** (the OR of all live snapmaps). The write
+// allocator treats a block as free only when it is clear in both the active
+// map and the summary map (free = !active && !summary), so snapshot-held
+// VVBNs — and, through the container map, their physical homes — are never
+// reused while any snapshot references them. Snapshot delete diffs the
+// victim's snapmap against the active map and the surviving snapmaps and
+// reclaims exclusively-held blocks back to the aggregate.
+//
+// The package holds the snapshot data types, the on-disk snapdir entry
+// format, and the pure bitmap/tree algorithms (content capture, delete
+// diffing, media-image reads). Wiring into volumes, the CP engine, the
+// allocator, and the NVRAM log lives in the owning packages.
+package snap
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"wafl/internal/block"
+	"wafl/internal/fs"
+)
+
+// EntrySize is the on-disk size of one snapdir entry: a header plus the
+// records of the snapshot's two metafiles.
+const EntrySize = 256
+
+// EntriesPerBlock is the number of snapdir entries per snapdir block.
+const EntriesPerBlock = block.Size / EntrySize
+
+// Snapshot is one materialized point-in-time image of a volume. Snapmap and
+// InoCopy are physical-only metafiles written once by the materializing CP
+// and immutable afterwards; both roots are persisted in the volume's snapdir
+// so the image is reachable from the superblock.
+type Snapshot struct {
+	ID       uint64
+	CreateCP uint64 // CP count at which the image was frozen
+
+	Snapmap *fs.File // copy of the volume activemap content at CreateCP
+	InoCopy *fs.File // copy of the inode-file content at CreateCP
+}
+
+// EncodeEntry serializes s into one snapdir entry.
+func (s *Snapshot) EncodeEntry(dst []byte) {
+	for i := range dst[:EntrySize] {
+		dst[i] = 0
+	}
+	binary.LittleEndian.PutUint64(dst[0:], s.ID)
+	binary.LittleEndian.PutUint64(dst[8:], s.CreateCP)
+	binary.LittleEndian.PutUint32(dst[16:], 1) // in use
+	fs.EncodeRecord(dst[64:], s.Snapmap.RecordOf(fs.FlagMetafile))
+	fs.EncodeRecord(dst[128:], s.InoCopy.RecordOf(fs.FlagMetafile))
+}
+
+// DecodeEntry rebuilds a snapshot skeleton from a snapdir entry (mount
+// path). Returns nil for an unused slot. The caller loads the metafile
+// trees from media.
+func DecodeEntry(src []byte) *Snapshot {
+	if binary.LittleEndian.Uint32(src[16:]) == 0 {
+		return nil
+	}
+	return &Snapshot{
+		ID:       binary.LittleEndian.Uint64(src[0:]),
+		CreateCP: binary.LittleEndian.Uint64(src[8:]),
+		Snapmap:  fs.FileFromRecord(fs.DecodeRecord(src[64:])),
+		InoCopy:  fs.FileFromRecord(fs.DecodeRecord(src[128:])),
+	}
+}
+
+// CopyContent copies every resident L0 block of src into dst, dirtying the
+// copies into the running CP, and returns the number of blocks copied. The
+// CP engine uses it to capture metafile content (activemap, inode file) at
+// the freeze point: src's L0s are fully resident for metafiles (mount loads
+// them eagerly and they are never evicted), so this is an exact image.
+func CopyContent(dst, src *fs.File) int {
+	n := 0
+	for fbn := block.FBN(0); fbn < src.Size(); fbn++ {
+		sbuf := src.Buffer(0, fbn)
+		if sbuf == nil {
+			continue // hole: absent in the copy too
+		}
+		dbuf := dst.GetOrCreateL0(fbn)
+		copy(dbuf.CPMutableData(), sbuf.Data())
+		dst.DirtyIntoCP(dbuf)
+		n++
+	}
+	return n
+}
+
+// wordAt returns the 64-bit bitmap word at bit offset wordStart (a multiple
+// of 64) of a bitmap metafile, treating absent blocks as all-zero.
+func wordAt(f *fs.File, wordStart uint64) uint64 {
+	fbn := block.FBN(wordStart / (block.Size * 8))
+	buf := f.Buffer(0, fbn)
+	if buf == nil {
+		return 0
+	}
+	byteOff := (wordStart % (block.Size * 8)) / 8
+	return binary.LittleEndian.Uint64(buf.Data()[byteOff:])
+}
+
+// BitSet reports whether bit bn is set in a bitmap metafile (snapmap
+// content), treating absent blocks as all-zero.
+func BitSet(f *fs.File, bn uint64) bool {
+	return wordAt(f, bn&^63)&(1<<(bn%64)) != 0
+}
+
+// ReclaimSets computes the two bit sets a snapshot delete must process,
+// given the victim's snapmap, the surviving snapmaps, and the active map
+// content (all bitmap metafiles over the same nbits VVBN space):
+//
+//	summaryClear — bits held by the victim and by no survivor: these leave
+//	  the summary map (the block is no longer snapshot-held);
+//	fullFree — the subset of summaryClear also clear in the active map: the
+//	  block is now referenced by nothing, so its physical home (via the
+//	  container map) returns to the aggregate's free pool.
+//
+// The scan cost in 64-bit words is returned for CPU charging.
+func ReclaimSets(victim *fs.File, survivors []*fs.File, active *fs.File, nbits uint64) (summaryClear, fullFree []uint64, words int) {
+	for wordStart := uint64(0); wordStart < nbits; wordStart += 64 {
+		w := wordAt(victim, wordStart)
+		words++
+		if w == 0 {
+			continue
+		}
+		for _, s := range survivors {
+			w &^= wordAt(s, wordStart)
+			words++
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		if wordEnd := wordStart + 64; wordEnd > nbits {
+			w &^= ^uint64(0) << (nbits - wordStart)
+		}
+		act := wordAt(active, wordStart)
+		words++
+		for rem := w; rem != 0; {
+			i := uint64(bits.TrailingZeros64(rem))
+			rem &^= 1 << i
+			bn := wordStart + i
+			summaryClear = append(summaryClear, bn)
+			if act&(1<<i) == 0 {
+				fullFree = append(fullFree, bn)
+			}
+		}
+	}
+	return summaryClear, fullFree, words
+}
+
+// RecordAt decodes the inode record for ino out of an inocopy metafile's
+// content. ok is false if the inode was not in use at snapshot time.
+func RecordAt(inoCopy *fs.File, ino uint64) (fs.Record, bool) {
+	fbn, off := fs.RecordLocation(ino)
+	buf := inoCopy.Buffer(0, fbn)
+	if buf == nil {
+		return fs.Record{}, false
+	}
+	rec := fs.DecodeRecord(buf.Data()[off:])
+	if rec.Flags&fs.FlagInUse == 0 || rec.Ino != ino {
+		return fs.Record{}, false
+	}
+	return rec, true
+}
+
+// ReadTree reads FBN fbn of the frozen file described by rec, walking the
+// committed media image through the read callback (typically an untimed or
+// timed aggregate block read). Snapshot trees are never resident in buffer
+// caches — the walk touches media at every level. A nil return means a hole
+// in the snapshot image.
+func ReadTree(read func(block.VBN) []byte, rec fs.Record, fbn block.FBN) []byte {
+	if rec.RootVBN == block.InvalidVBN {
+		return nil
+	}
+	vbn := rec.RootVBN
+	for level := int(rec.Height); level > 0; level-- {
+		data := read(vbn)
+		if data == nil {
+			return nil
+		}
+		childIdx := int((fbn >> (8 * uint(level-1))) & (block.PtrsPerBlock - 1))
+		_, cvbn := block.GetPtr(data, childIdx)
+		if cvbn == 0 || cvbn == block.InvalidVBN {
+			return nil // hole
+		}
+		vbn = cvbn
+	}
+	return read(vbn)
+}

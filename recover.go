@@ -91,6 +91,14 @@ func (ns *System) replay(records []nvlog.Record) {
 		case nvlog.OpDelete:
 			v.DeleteFile(rec.Ino) // idempotent
 
+		case nvlog.OpSnapCreate:
+			// Idempotent: a no-op if the snapshot was materialized by a CP
+			// that committed before the crash; otherwise it is re-queued and
+			// the recovery CP materializes it.
+			v.RequestSnapshotAt(rec.Ino)
+		case nvlog.OpSnapDelete:
+			v.DeleteSnapshot(rec.Ino) // idempotent
+
 		case nvlog.OpWrite:
 			f := v.LookupFile(rec.Ino)
 			if f == nil {

@@ -169,6 +169,14 @@ func (sys *System) CPReport() string {
 		st.LongestDuration, st.BackToBack, st.InodesCleaned, st.AmapWrites)
 }
 
+// SnapStats returns cumulative snapshot activity: images materialized,
+// snapshots reclaimed, and physical blocks returned to the aggregate free
+// pool by snapshot deletes.
+func (sys *System) SnapStats() (created, deleted, reclaimedBlocks uint64) {
+	st := sys.engine.Stats()
+	return st.SnapsCreated, st.SnapsDeleted, st.SnapReclaimed
+}
+
 // CleanerJobStats returns the cleaner pool's cumulative job and batch
 // counts (equal unless batched inode cleaning merged jobs).
 func (sys *System) CleanerJobStats() (jobs, batches uint64) {

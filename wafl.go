@@ -439,7 +439,7 @@ func (sys *System) Flush() error {
 		sys.Run(2 * Second)
 		clean := sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() && !sys.engine.Running()
 		for _, v := range sys.a.Volumes() {
-			if v.DirtyFiles() > 0 {
+			if v.DirtyFiles() > 0 || !v.SnapshotsQuiescent() {
 				clean = false
 			}
 		}
@@ -461,7 +461,7 @@ func (sys *System) Quiesce() error {
 		sys.Run(2 * Second)
 		clean := sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() && !sys.engine.Running()
 		for _, v := range sys.a.Volumes() {
-			if v.DirtyFiles() > 0 {
+			if v.DirtyFiles() > 0 || !v.SnapshotsQuiescent() {
 				clean = false
 			}
 		}

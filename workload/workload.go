@@ -146,6 +146,56 @@ func (w OLTP) Attach(sys *wafl.System) {
 	}
 }
 
+// SnapChurn overlays snapshot churn on a random-overwrite load: writer
+// clients overwrite their files steadily while one manager client per volume
+// maintains a rotating ring of snapshots — create one every SnapEvery ops,
+// delete the oldest once MaxSnaps are live. Overwrites under a snapshot
+// cannot free their old blocks (the summary map holds them), so the workload
+// exercises the allocator's free = !active && !summary path, summary-held
+// write suppression in the cleaner, and steady reclamation at snapshot
+// delete — the snapshot analogue of the paper's aged-volume setting.
+type SnapChurn struct {
+	Clients    int
+	OpBlocks   int
+	FileBlocks uint64
+	Volumes    int
+	SnapEvery  int           // manager think interval, in write-op units
+	MaxSnaps   int           // live snapshots per volume before rotation
+	Think      wafl.Duration // manager pause between snapshot ops
+	Prefill    bool
+}
+
+// DefaultSnapChurn keeps a ring of 4 snapshots per volume under steady
+// random overwrites.
+func DefaultSnapChurn() SnapChurn {
+	return SnapChurn{Clients: 32, OpBlocks: 2, FileBlocks: 8192, Volumes: 4,
+		SnapEvery: 64, MaxSnaps: 4, Think: 2 * wafl.Millisecond, Prefill: true}
+}
+
+// Attach creates and ages the files, spawns the writer clients, and one
+// snapshot-manager client per volume.
+func (w SnapChurn) Attach(sys *wafl.System) {
+	rw := RandWrite{Clients: w.Clients, OpBlocks: w.OpBlocks,
+		FileBlocks: w.FileBlocks, Volumes: w.Volumes, Prefill: w.Prefill}
+	rw.Attach(sys)
+	for v := 0; v < w.Volumes; v++ {
+		v := v
+		sys.ClientThread(fmt.Sprintf("snap-manager-%d", v), func(c *wafl.ClientCtx) {
+			var ring []uint64
+			for c.Alive() {
+				if len(ring) >= w.MaxSnaps {
+					c.SnapDelete(v, ring[0])
+					ring = ring[1:]
+				}
+				ring = append(ring, c.SnapCreate(v))
+				// Pace the churn: roughly one create per SnapEvery write
+				// ops per client, approximated with think time.
+				c.Think(wafl.Duration(w.SnapEvery) * w.Think)
+			}
+		})
+	}
+}
+
 // NFSMix models the §V-C benchmark: a mix of NFSv3 reads, writes, and
 // metadata operations across a large number of inodes — many dirty inodes
 // with few dirty buffers each, the case batched inode cleaning exists for.

@@ -59,6 +59,43 @@ func TestSeqWriteProducesLoad(t *testing.T) {
 	}
 }
 
+func TestSnapChurnRotatesSnapshots(t *testing.T) {
+	w := DefaultSnapChurn()
+	w.Clients = 4
+	w.Volumes = 2
+	w.FileBlocks = 2048
+	w.MaxSnaps = 2
+	w.SnapEvery = 4
+	w.Think = wafl.Millisecond
+	sys, err := wafl.NewSystem(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Attach(sys)
+	res := sys.Measure(50*wafl.Millisecond, 250*wafl.Millisecond)
+	if res.Ops == 0 {
+		t.Fatal("no load produced")
+	}
+	created, deleted, _ := sys.SnapStats()
+	if created == 0 {
+		t.Fatal("churn created no snapshots")
+	}
+	if deleted == 0 {
+		t.Fatal("ring never rotated: no snapshot deletes")
+	}
+	held := uint64(0)
+	for v := 0; v < 2; v++ {
+		held += sys.FreeSpaceBreakdown(v).SnapOnly
+		if n := len(sys.SnapshotIDs(v)); n > w.MaxSnaps+1 {
+			t.Fatalf("vol %d holds %d snapshots, ring size %d", v, n, w.MaxSnaps)
+		}
+	}
+	if held == 0 {
+		t.Fatal("no snapshot-held blocks under overwrite churn")
+	}
+	sys.Shutdown()
+}
+
 func TestRandWritePrefillAges(t *testing.T) {
 	w := DefaultRandWrite()
 	w.Clients = 4
