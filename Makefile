@@ -18,6 +18,7 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/waflbench -exp agedvol -benchjson BENCH_PR4.json
 
 # crashcheck runs the bounded crash-schedule fault-injection sweep: crash at
 # dozens of reproducible points (event indices + CP phase boundaries),

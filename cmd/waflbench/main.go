@@ -10,6 +10,7 @@
 //	waflbench -window 400ms   # measurement window
 //	waflbench -exp fig4 -trace fig4   # dump fig4-NNN.json Perfetto timelines
 //	waflbench -crashsweep     # crash-schedule fault-injection sweep (§II-C)
+//	waflbench -exp agedvol -benchjson BENCH.json   # machine-readable results
 package main
 
 import (
@@ -25,7 +26,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn all")
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol all")
+	benchjson := flag.String("benchjson", "", "write machine-readable results (ops/sec, fill words, walloc cores, get waits) to this JSON file")
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
 	cleaners := flag.Int("cleaners", 4, "parallel cleaner-thread count for the permutation experiments")
@@ -49,6 +51,8 @@ func main() {
 	rc := harness.DefaultRun()
 	rc.Window = wafl.Duration(window.Nanoseconds())
 	rc.Warmup = wafl.Duration(warmup.Nanoseconds())
+
+	var benchResults []harness.BenchResult
 
 	run := func(name string, fn func() (harness.Table, error)) {
 		if *exp != "all" && !strings.EqualFold(*exp, name) {
@@ -105,6 +109,23 @@ func main() {
 		t, _, err := harness.SnapshotChurn(rc)
 		return t, err
 	})
+	run("agedvol", func() (harness.Table, error) {
+		t, res, err := harness.AgedVolume(rc)
+		benchResults = append(benchResults, res...)
+		return t, err
+	})
+
+	if *benchjson != "" {
+		if len(benchResults) == 0 {
+			fmt.Fprintf(os.Stderr, "-benchjson: no experiments produced machine-readable results (try -exp agedvol)\n")
+			os.Exit(1)
+		}
+		if err := harness.WriteBenchJSON(*benchjson, benchResults); err != nil {
+			fmt.Fprintf(os.Stderr, "-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d benchmark results to %s\n", len(benchResults), *benchjson)
+	}
 }
 
 // runCrashSweep executes the crash-schedule sweep and exits nonzero if any

@@ -21,6 +21,7 @@ type FsckReport struct {
 	ContainerErrs    uint64 // container-map entries disagreeing with trees
 	VVBNErrs         uint64 // volume activemap bits disagreeing with trees
 	SnapErrs         uint64 // summary/snapmap disagreements, ownerless bits
+	IdxErrs          uint64 // free-space index counters/summary vs recount
 	Files            uint64
 	Snapshots        uint64 // materialized snapshots found on media
 	Errors           []string
@@ -31,13 +32,13 @@ type FsckReport struct {
 func (r FsckReport) OK() bool {
 	return r.Missing == 0 && r.DoubleRefs == 0 && r.Leaked == 0 &&
 		r.ContainerErrs == 0 && r.VVBNErrs == 0 && r.SnapErrs == 0 &&
-		len(r.Errors) == 0
+		r.IdxErrs == 0 && len(r.Errors) == 0
 }
 
 func (r FsckReport) String() string {
-	return fmt.Sprintf("fsck: refs=%d used=%d leaked=%d double=%d missing=%d containerErrs=%d vvbnErrs=%d snapErrs=%d files=%d snaps=%d errs=%d",
+	return fmt.Sprintf("fsck: refs=%d used=%d leaked=%d double=%d missing=%d containerErrs=%d vvbnErrs=%d snapErrs=%d idxErrs=%d files=%d snaps=%d errs=%d",
 		r.ReferencedBlocks, r.UsedBits, r.Leaked, r.DoubleRefs, r.Missing,
-		r.ContainerErrs, r.VVBNErrs, r.SnapErrs, r.Files, r.Snapshots, len(r.Errors))
+		r.ContainerErrs, r.VVBNErrs, r.SnapErrs, r.IdxErrs, r.Files, r.Snapshots, len(r.Errors))
 }
 
 // Fsck mounts the committed media image and cross-checks it: every block
@@ -195,6 +196,21 @@ func (sys *System) Fsck() FsckReport {
 				r.VVBNErrs++
 				r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: vvbn %d referenced but not marked used", v.ID(), bn))
 			}
+		}
+		// The free-space index must match a full recount of the maps it
+		// summarizes — on the mounted image (exercising the word-wise
+		// mount-time rebuild) and on the live volume (catching incremental
+		// maintenance drift, e.g. a transition path that skipped the
+		// OnChange hooks).
+		for _, e := range v.FreeIdx.Verify() {
+			r.IdxErrs++
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d (mounted): %s", v.ID(), e))
+		}
+	}
+	for _, v := range sys.a.Volumes() {
+		for _, e := range v.FreeIdx.Verify() {
+			r.IdxErrs++
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d (live): %s", v.ID(), e))
 		}
 	}
 

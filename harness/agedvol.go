@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+
+	"wafl"
+	"wafl/workload"
+)
+
+// AgedVolume measures steady-state bucket fills on an aged, snapshotted
+// volume — prefilled dense, fragmented by overwrite rounds under snapshot
+// churn, with a pinned base snapshot keeping the fragmentation alive — and
+// compares the legacy scan path (region recounts + word-by-word FindFree
+// with per-bit summary rejection) against hierarchical free-space
+// accounting (per-vregion counters + free-words summary bitmap). The
+// headline metric is volume fill words charged per installed virtual
+// bucket: the simulated CPU the infrastructure burns scanning bitmaps for
+// each bucket of allocatable VVBNs it delivers.
+func AgedVolume(rc RunConfig) (Table, []BenchResult, error) {
+	t := Table{
+		ID:    "agedvol",
+		Title: "Aged snapshotted volume: legacy bitmap scan vs hierarchical free accounting",
+		Headers: []string{"mode", "ops/s", "MB/s", "lat p50", "lat p99",
+			"vfillwords", "vbuckets", "words/vbucket", "infra cores", "getwaits"},
+	}
+	var out []BenchResult
+
+	w := workload.DefaultAgedVol()
+	modes := []struct {
+		name string
+		hier bool
+	}{
+		{"legacy scan", false},
+		{"hierarchical", true},
+	}
+	for _, m := range modes {
+		cfg := rc.Base
+		cfg.Volumes = w.Volumes
+		cfg.VolumeBlocks = 1 << 18 // 8 vregions; aged to ~84% occupancy
+		cfg.DriveBlocks = 131072   // physical headroom for the aged image
+		cfg.Allocator.HierarchicalFree = m.hier
+		sys, err := wafl.NewSystem(cfg)
+		if err != nil {
+			return t, out, err
+		}
+		w.Attach(sys) // prefill + age in simulated time
+		sys.Run(rc.Warmup)
+		c0 := sys.Counters()
+		res := sys.Measure(0, rc.Window)
+		c1 := sys.Counters()
+		sys.Shutdown()
+		b := benchResultFrom("agedvol", m.name, res, c0, c1)
+		out = append(out, b)
+		t.Rows = append(t.Rows, []string{
+			m.name, f0(b.OpsPerSec), f2(b.MBPerSec), ms(res.LatP50), ms(res.LatP99),
+			fmt.Sprintf("%d", b.VFillWords), fmt.Sprintf("%d", b.VBucketsFilled),
+			f2(b.FillWordsPerVBucket), f2(b.InfraCores), fmt.Sprintf("%d", b.GetWaits),
+		})
+	}
+	if len(out) == 2 && out[1].FillWordsPerVBucket > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"fill words per installed vbucket: %.1f -> %.1f (%.1fx reduction)",
+			out[0].FillWordsPerVBucket, out[1].FillWordsPerVBucket,
+			out[0].FillWordsPerVBucket/out[1].FillWordsPerVBucket))
+	}
+	t.Notes = append(t.Notes,
+		"both volumes ~82% occupied (active + snapshot-held) with a pinned base snapshot and a rotating 2-deep ring")
+	return t, out, nil
+}

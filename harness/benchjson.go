@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+
+	"wafl"
+)
+
+// BenchResult is one machine-readable benchmark measurement, emitted by
+// waflbench -benchjson so the perf trajectory can be tracked across commits.
+// Counter fields are deltas over the measurement window.
+type BenchResult struct {
+	Name                string  `json:"name"`
+	Mode                string  `json:"mode,omitempty"`
+	OpsPerSec           float64 `json:"ops_per_sec"`
+	MBPerSec            float64 `json:"mb_per_sec"`
+	LatP50Us            float64 `json:"lat_p50_us"`
+	LatP99Us            float64 `json:"lat_p99_us"`
+	WallocCores         float64 `json:"walloc_cores"` // cleaner + infra
+	InfraCores          float64 `json:"infra_cores"`
+	CPs                 uint64  `json:"cps"`
+	FillWords           uint64  `json:"fill_words"`
+	VFillWords          uint64  `json:"vfill_words"`
+	VBucketsFilled      uint64  `json:"vbuckets_filled"`
+	FillWordsPerVBucket float64 `json:"fill_words_per_vbucket"`
+	GetWaits            uint64  `json:"get_waits"`
+}
+
+// benchResultFrom assembles a BenchResult from a window's Results and the
+// counter snapshots taken at its edges.
+func benchResultFrom(name, mode string, res wafl.Results, c0, c1 wafl.InfraCounters) BenchResult {
+	b := BenchResult{
+		Name:           name,
+		Mode:           mode,
+		OpsPerSec:      res.OpsPerSec,
+		MBPerSec:       res.MBPerSec,
+		LatP50Us:       res.LatP50.Micros(),
+		LatP99Us:       res.LatP99.Micros(),
+		WallocCores:    res.Cores.WriteAllocation(),
+		InfraCores:     res.Cores.Infra,
+		CPs:            res.CPs,
+		FillWords:      c1.FillWords - c0.FillWords,
+		VFillWords:     c1.VFillWords - c0.VFillWords,
+		VBucketsFilled: c1.VBucketsFilled - c0.VBucketsFilled,
+		GetWaits:       c1.GetWaits - c0.GetWaits,
+	}
+	if b.VBucketsFilled > 0 {
+		b.FillWordsPerVBucket = float64(b.VFillWords) / float64(b.VBucketsFilled)
+	}
+	return b
+}
+
+// WriteBenchJSON writes the collected results to path as indented JSON.
+func WriteBenchJSON(path string, results []BenchResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -79,12 +79,9 @@ func MountFrom(old *Aggregate) (*Aggregate, error) {
 
 	a.Activemap = bitmap.Rebind(a.amapFile, a.geo.TotalBlocks())
 	a.initAAFree()
-	// Recompute per-AA free counts from the rebound bitmap.
-	for bn := uint64(0); bn < a.geo.TotalBlocks(); bn++ {
-		if a.Activemap.IsSet(bn) {
-			a.onBitChange(bn, true)
-		}
-	}
+	// Recompute per-AA free counts from the rebound bitmap, word-wise —
+	// a per-bit IsSet loop would pay TotalBlocks buffer lookups.
+	a.Activemap.ForEachSet(func(bn uint64) { a.onBitChange(bn, true) })
 	a.Activemap.OnChange = a.onBitChange
 
 	for vi := uint64(0); vi < nvols; vi++ {

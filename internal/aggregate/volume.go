@@ -57,6 +57,12 @@ type Volume struct {
 	container *fs.File
 	inofile   *fs.File
 
+	// FreeIdx is the hierarchical free-space accounting over Activemap and
+	// Summary: per-vregion allocatable counts plus a free-words summary
+	// bitmap, maintained incrementally from both maps' OnChange streams so
+	// region selection and bucket fills never rescan full bitmap spans.
+	FreeIdx *bitmap.Index
+
 	// Snapshot state. Summary is the OR of all live snapmaps; the write
 	// allocator consults it so snapshot-held VVBNs are never reused
 	// (free = !active && !summary). snapdir persists the snapshot set.
@@ -113,6 +119,7 @@ func (a *Aggregate) AddVolume(vvbnBlocks uint64) *Volume {
 	v.summaryFile = fs.NewFile(inoVolSummary, fs.HeightFor(amapBlocks+1))
 	v.Summary = bitmap.New(v.summaryFile, vvbnBlocks)
 	v.snapdir = fs.NewFile(inoVolSnapdir, fs.HeightFor(64))
+	v.FreeIdx = bitmap.NewIndex(v.Activemap, v.Summary, bitmap.BitsPerBlock)
 	a.vols = append(a.vols, v)
 	return v
 }
@@ -543,6 +550,7 @@ func (a *Aggregate) decodeVolume(src []byte) *Volume {
 	a.loadAll(v.summaryFile)
 	v.Activemap = bitmap.Rebind(v.amapFile, v.vvbnBlocks)
 	v.Summary = bitmap.Rebind(v.summaryFile, v.vvbnBlocks)
+	v.FreeIdx = bitmap.NewIndex(v.Activemap, v.Summary, bitmap.BitsPerBlock)
 	// Rebuild the snapshot set from the snapdir content.
 	for slot := 0; slot < snapCount; slot++ {
 		buf := v.snapdir.Buffer(0, block.FBN(slot/snap.EntriesPerBlock))

@@ -44,15 +44,26 @@ func New(file *fs.File, nbits uint64) *Activemap {
 }
 
 // Rebind attaches the activemap to a (re-mounted) metafile and recomputes
-// the free count from its contents — the mount-time rebuild path.
+// the free count from its contents — the mount-time rebuild path. The
+// recount is word-wise over resident metafile blocks (absent blocks are
+// all-clear), not a per-bit IsSet loop.
 func Rebind(file *fs.File, nbits uint64) *Activemap {
 	a := New(file, nbits)
-	a.free = 0
-	for bn := uint64(0); bn < nbits; bn++ {
-		if !a.IsSet(bn) {
-			a.free++
+	used := uint64(0)
+	nblocks := (nbits + BitsPerBlock - 1) / BitsPerBlock
+	for fbn := block.FBN(0); uint64(fbn) < nblocks; fbn++ {
+		buf := file.Buffer(0, fbn)
+		if buf == nil {
+			continue
+		}
+		d := buf.Data()
+		// Bits at/after nbits in the last block are unused and must be zero
+		// (Set panics past nbits), so counting whole words is safe.
+		for off := 0; off < block.Size; off += 8 {
+			used += uint64(bits.OnesCount64(binary.LittleEndian.Uint64(d[off:])))
 		}
 	}
+	a.free = nbits - used
 	return a
 }
 
@@ -85,6 +96,42 @@ func (a *Activemap) locate(bn uint64) (*fs.Buffer, int, byte) {
 func (a *Activemap) IsSet(bn uint64) bool {
 	buf, byteOff, mask := a.locate(bn)
 	return buf.Data()[byteOff]&mask != 0
+}
+
+// wordAt returns the 64-bit word starting at bit wordStart (which must be
+// 64-aligned) without creating the backing metafile block: an absent block
+// reads as all-clear. The read path for the free-space index, which must
+// not perturb the file's buffer population.
+func (a *Activemap) wordAt(wordStart uint64) uint64 {
+	buf := a.file.Buffer(0, BlockOf(wordStart))
+	if buf == nil {
+		return 0
+	}
+	byteOff := (wordStart % BitsPerBlock) / 8
+	return binary.LittleEndian.Uint64(buf.Data()[byteOff:])
+}
+
+// ForEachSet calls fn for every set bit, scanning word-wise over resident
+// metafile blocks (absent blocks are all-clear) — the bulk iteration path
+// for mount-time rebuilds that would otherwise pay nbits buffer lookups.
+func (a *Activemap) ForEachSet(fn func(bn uint64)) {
+	nblocks := (a.nbits + BitsPerBlock - 1) / BitsPerBlock
+	for fbn := block.FBN(0); uint64(fbn) < nblocks; fbn++ {
+		buf := a.file.Buffer(0, fbn)
+		if buf == nil {
+			continue
+		}
+		d := buf.Data()
+		base := uint64(fbn) * BitsPerBlock
+		for off := 0; off < block.Size; off += 8 {
+			w := binary.LittleEndian.Uint64(d[off:])
+			for w != 0 {
+				i := bits.TrailingZeros64(w)
+				fn(base + uint64(off)*8 + uint64(i))
+				w &= w - 1
+			}
+		}
+	}
 }
 
 // Set marks bn in use, dirtying the owning metafile block into the running
@@ -181,8 +228,10 @@ func (a *Activemap) FindFree(dst []uint64, start, end uint64, max int) ([]uint64
 // map, dirtying changed metafile blocks into the running CP and maintaining
 // the free count. It is the bulk path for folding a snapmap into a volume's
 // snapshot summary map: per-bit Set would charge one metafile dirty per bit,
-// where one CP only needs one per changed block. Returns the number of newly
-// set bits.
+// where one CP only needs one per changed block. Every newly set bit is
+// reported through OnChange — it is a real allocatability transition, and
+// observers (the hierarchical free-space index) must see it like any Set.
+// Returns the number of newly set bits.
 func (a *Activemap) OrFrom(src *fs.File) uint64 {
 	newly := uint64(0)
 	nblocks := (a.nbits + BitsPerBlock - 1) / BitsPerBlock
@@ -201,16 +250,24 @@ func (a *Activemap) OrFrom(src *fs.File) uint64 {
 				continue
 			}
 			dw := binary.LittleEndian.Uint64(dd[off:])
-			if sw&^dw == 0 {
+			fresh := sw &^ dw
+			if fresh == 0 {
 				continue
 			}
 			if !changed {
 				dd = dbuf.CPMutableData()
 				dw = binary.LittleEndian.Uint64(dd[off:])
+				fresh = sw &^ dw
 				changed = true
 			}
-			newly += uint64(bits.OnesCount64(sw &^ dw))
+			newly += uint64(bits.OnesCount64(fresh))
 			binary.LittleEndian.PutUint64(dd[off:], dw|sw)
+			if a.OnChange != nil {
+				base := uint64(fbn)*BitsPerBlock + uint64(off)*8
+				for w := fresh; w != 0; w &= w - 1 {
+					a.OnChange(base+uint64(bits.TrailingZeros64(w)), true)
+				}
+			}
 		}
 		if changed {
 			a.file.DirtyIntoCP(dbuf)

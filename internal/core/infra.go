@@ -23,7 +23,8 @@ type InfraStats struct {
 	FreesCommitted    uint64
 	TetrisesSent      uint64
 	TetrisBlocks      uint64
-	FillWords         uint64 // bitmap words scanned
+	FillWords         uint64 // bitmap words scanned (physical fills)
+	VFillWords        uint64 // bitmap words scanned (volume fills)
 	GetWaits          uint64 // GET calls that blocked on an empty cache
 	WindowsSkipped    uint64 // windows with no free blocks at all
 }
@@ -44,7 +45,7 @@ type windowFill struct {
 // volState is the per-volume virtual allocation state.
 type volState struct {
 	vol          *aggregate.Volume
-	cache        []*VBucket
+	cache        fifo[*VBucket]
 	cond         *sim.WaitQueue
 	region       int    // current vAA (one activemap block of VVBNs), -1 initially
 	cursor       uint64 // next vvbn to scan within the region
@@ -53,6 +54,12 @@ type volState struct {
 	pendingFree  *bitset
 	reserved     *bitset
 	freeCounter  counters.ID
+
+	// scanBuf is the reusable FindFree scratch buffer for this volume's
+	// fills. Safe to share across fill messages: the cooperative scheduler
+	// never switches threads inside a scan, and the raw candidates are
+	// copied out before the next one starts.
+	scanBuf []uint64
 }
 
 // Infra is the White Alligator infrastructure: it owns the bucket cache and
@@ -70,11 +77,15 @@ type Infra struct {
 	// Bucket cache: the lock-protected list of available buckets.
 	cacheMu   *sim.Mutex
 	cacheCond *sim.WaitQueue
-	cache     []*Bucket
+	cache     fifo[*Bucket]
 
 	// Used-bucket queue: PUT parks buckets here until the infrastructure
 	// message that commits them runs.
-	usedQueue []*Bucket
+	usedQueue fifo[*Bucket]
+
+	// scanBuf is the reusable FindFree scratch for physical fills (see
+	// volState.scanBuf).
+	scanBuf []uint64
 
 	win         []windowState
 	usedAAs     []map[int]bool
@@ -162,7 +173,13 @@ func NewInfra(w *waffinity.Scheduler, h *waffinity.Hierarchy, a *aggregate.Aggre
 	}
 	for _, vs := range in.vols {
 		vs := vs
+		// Chain, don't clobber: the volume's free-space index is already
+		// hooked here and must keep seeing every transition.
+		vprev := vs.vol.Activemap.OnChange
 		vs.vol.Activemap.OnChange = func(bn uint64, used bool) {
+			if vprev != nil {
+				vprev(bn, used)
+			}
 			if !used && in.inCP {
 				vs.pendingFree.set(bn)
 			}
@@ -211,7 +228,8 @@ func (in *Infra) findFreePhys(lo, hi uint64, max int) ([]block.VBN, int) {
 	out := make([]block.VBN, 0, max)
 	words := 0
 	for lo < hi && len(out) < max {
-		raw, w := in.a.Activemap.FindFree(nil, lo, hi, max)
+		raw, w := in.a.Activemap.FindFree(in.scanBuf[:0], lo, hi, max)
+		in.scanBuf = raw // retain grown capacity for the next scan
 		words += w
 		if len(raw) == 0 {
 			break
@@ -329,7 +347,7 @@ func (in *Infra) fillWindowInline(t *sim.Thread, group int) {
 	for d := 0; d < drives; d++ {
 		b := in.fillBucket(t, group, d, start, depth, te)
 		if len(b.vbns) > 0 {
-			in.cache = append(in.cache, b)
+			in.cache.push(b)
 			in.stats.BucketsFilled++
 			nonEmpty++
 		}
@@ -395,7 +413,7 @@ func (in *Infra) installBucketEarly(t *sim.Thread, wf *windowFill, b *Bucket) {
 		wf.tetris.outstanding++
 		wf.tetris.initialBuckets++
 		in.cacheMu.Lock(t)
-		in.cache = append(in.cache, b)
+		in.cache.push(b)
 		in.cacheMu.Unlock(t)
 		in.stats.BucketsFilled++
 		in.cacheCond.Signal()
@@ -444,7 +462,7 @@ func (in *Infra) installWindow(t *sim.Thread, wf *windowFill) {
 	in.cacheMu.Lock(t)
 	for _, b := range wf.buckets {
 		if b != nil && len(b.vbns) > 0 {
-			in.cache = append(in.cache, b)
+			in.cache.push(b)
 			in.stats.BucketsFilled++
 		}
 	}
@@ -462,19 +480,18 @@ func (in *Infra) GetBucket(t *sim.Thread) *Bucket {
 	getStart := t.Now()
 	in.cacheMu.Lock(t)
 	if in.opts.CleanInSerialAffinity {
-		for len(in.cache) == 0 {
+		for in.cache.len() == 0 {
 			in.fillWindowInline(t, in.serialGroup)
 			in.serialGroup = (in.serialGroup + 1) % in.a.Groups()
 		}
 	}
 	waited := false
-	for len(in.cache) == 0 {
+	for in.cache.len() == 0 {
 		in.stats.GetWaits++
 		waited = true
 		in.cacheCond.WaitWith(t, in.cacheMu)
 	}
-	b := in.cache[0]
-	in.cache = in.cache[1:]
+	b := in.cache.pop()
 	in.cacheMu.Unlock(t)
 	if tr := t.Tracer(); tr != nil {
 		if waited {
@@ -505,7 +522,7 @@ func (in *Infra) PutBucket(t *sim.Thread, b *Bucket) {
 		in.commitBucketBody(t, b)
 		return
 	}
-	in.usedQueue = append(in.usedQueue, b)
+	in.usedQueue.push(b)
 	in.pendingOps++
 	fbn := bitmap.BlockOf(uint64(in.a.Geometry().VBNOf(b.group, b.drive, b.window)))
 	in.w.Send(in.aggrRangeAff(fbn), sim.CatInfra, func(wt *sim.Thread) {
@@ -516,12 +533,10 @@ func (in *Infra) PutBucket(t *sim.Thread, b *Bucket) {
 // commitBucket pops the oldest used bucket and applies its allocations to
 // the activemap.
 func (in *Infra) commitBucket(t *sim.Thread) {
-	if len(in.usedQueue) == 0 {
+	if in.usedQueue.len() == 0 {
 		return
 	}
-	b := in.usedQueue[0]
-	in.usedQueue = in.usedQueue[1:]
-	in.commitBucketBody(t, b)
+	in.commitBucketBody(t, in.usedQueue.pop())
 }
 
 // commitBucketBody applies one bucket's allocations to the activemap.

@@ -24,7 +24,7 @@ func (in *Infra) StartCP(dirtyVols []*aggregate.Volume) {
 	}
 	for _, v := range dirtyVols {
 		vs := in.vols[v.ID()]
-		for len(vs.cache)+vs.pendingFills < in.opts.VolBucketsReady {
+		for vs.cache.len()+vs.pendingFills < in.opts.VolBucketsReady {
 			in.requestVBucket(vs)
 		}
 	}
@@ -52,8 +52,7 @@ func (in *Infra) Drain(t *sim.Thread) {
 	in.draining = true
 	// Discard the physical bucket cache.
 	in.cacheMu.Lock(t)
-	cache := in.cache
-	in.cache = nil
+	cache := in.cache.takeAll()
 	in.cacheMu.Unlock(t)
 	for _, b := range cache {
 		for _, vbn := range b.vbns {
@@ -68,12 +67,11 @@ func (in *Infra) Drain(t *sim.Thread) {
 	}
 	// Discard virtual bucket caches.
 	for _, vs := range in.vols {
-		for _, vb := range vs.cache {
+		for _, vb := range vs.cache.takeAll() {
 			for _, vv := range vb.vvbns {
 				vs.reserved.clear(uint64(vv))
 			}
 		}
-		vs.cache = nil
 	}
 	for in.pendingOps > 0 || in.pendingIO > 0 {
 		in.drainCond.Wait(t)
@@ -88,8 +86,7 @@ func (in *Infra) Drain(t *sim.Thread) {
 func (in *Infra) DrainOps(t *sim.Thread) {
 	in.draining = true
 	in.cacheMu.Lock(t)
-	cache := in.cache
-	in.cache = nil
+	cache := in.cache.takeAll()
 	in.cacheMu.Unlock(t)
 	for _, b := range cache {
 		for _, vbn := range b.vbns {
@@ -103,12 +100,11 @@ func (in *Infra) DrainOps(t *sim.Thread) {
 		}
 	}
 	for _, vs := range in.vols {
-		for _, vb := range vs.cache {
+		for _, vb := range vs.cache.takeAll() {
 			for _, vv := range vb.vvbns {
 				vs.reserved.clear(uint64(vv))
 			}
 		}
-		vs.cache = nil
 	}
 	for in.pendingOps > 0 {
 		in.drainCond.Wait(t)

@@ -19,8 +19,26 @@ const vRegionBits = bitmap.BitsPerBlock
 // free meaning clear in both the activemap and the snapshot summary map
 // (free = !active && !summary) — excluding regions already used this CP.
 // The scan cost is charged by the caller via the returned word count.
+//
+// With HierarchicalFree this is an O(regions) lookup of the incrementally
+// maintained per-vregion counters (the volume analogue of AAFree, which
+// likewise charges no bitmap-word cost). The legacy path recounts every
+// candidate region's full span.
 func (in *Infra) selectVRegion(vs *volState) (int, int) {
 	nRegions := int((vs.vol.VVBNBlocks() + vRegionBits - 1) / vRegionBits)
+	if in.opts.HierarchicalFree {
+		best := -1
+		var bestFree int64
+		for r := 0; r < nRegions; r++ {
+			if vs.usedRegions[r] {
+				continue
+			}
+			if f := vs.vol.FreeIdx.RegionFree(r); f > bestFree {
+				best, bestFree = r, f
+			}
+		}
+		return best, 0
+	}
 	best, words := -1, 0
 	var bestFree uint64
 	for r := 0; r < nRegions; r++ {
@@ -38,12 +56,23 @@ func (in *Infra) selectVRegion(vs *volState) (int, int) {
 	return best, words
 }
 
-// findFreeVirt is findFreePhys for a volume's VVBN space.
+// findFreeVirt is findFreePhys for a volume's VVBN space. The indexed path
+// asks the free-space index, which skips exhausted words via its free-words
+// summary bitmap and already excludes summary-held VVBNs; the legacy path
+// grinds through the activemap word-by-word and rejects summary-held bits
+// one at a time.
 func (in *Infra) findFreeVirt(vs *volState, lo, hi uint64, max int) ([]block.VVBN, int) {
 	out := make([]block.VVBN, 0, max)
 	words := 0
 	for lo < hi && len(out) < max {
-		raw, w := vs.vol.Activemap.FindFree(nil, lo, hi, max)
+		var raw []uint64
+		var w int
+		if in.opts.HierarchicalFree {
+			raw, w = vs.vol.FreeIdx.FindFree(vs.scanBuf[:0], lo, hi, max)
+		} else {
+			raw, w = vs.vol.Activemap.FindFree(vs.scanBuf[:0], lo, hi, max)
+		}
+		vs.scanBuf = raw // retain grown capacity for the next scan
 		words += w
 		if len(raw) == 0 {
 			break
@@ -52,10 +81,18 @@ func (in *Infra) findFreeVirt(vs *volState, lo, hi uint64, max int) ([]block.VVB
 			if len(out) == max {
 				break
 			}
-			// free = !active && !summary: a clear activemap bit whose VVBN a
-			// snapshot still holds is not allocatable.
-			if vs.pendingFree.test(bn) || vs.reserved.test(bn) || vs.vol.Summary.IsSet(bn) {
+			if vs.pendingFree.test(bn) || vs.reserved.test(bn) {
 				continue
+			}
+			// free = !active && !summary: a clear activemap bit whose VVBN a
+			// snapshot still holds is not allocatable. The index excludes
+			// such bits already; the legacy path examines a summary-map word
+			// per candidate to find out, and is charged for it.
+			if !in.opts.HierarchicalFree {
+				words++
+				if vs.vol.Summary.IsSet(bn) {
+					continue
+				}
 			}
 			out = append(out, block.VVBN(bn))
 		}
@@ -103,6 +140,7 @@ func (in *Infra) scanVBucket(t *sim.Thread, vs *volState) []block.VVBN {
 		vs.cursor = hi
 	}
 	in.stats.FillWords += uint64(fillWords)
+	in.stats.VFillWords += uint64(fillWords)
 	t.ConsumeAs(sim.CatInfra, in.costs.FillFixed+sim.Duration(fillWords)*in.costs.FillPerWord)
 	return vvbns
 }
@@ -113,7 +151,7 @@ func (in *Infra) installVBucket(vs *volState, vvbns []block.VVBN) {
 	for _, vv := range vvbns {
 		vs.reserved.set(uint64(vv))
 	}
-	vs.cache = append(vs.cache, &VBucket{vol: vs.vol, vvbns: vvbns})
+	vs.cache.push(&VBucket{vol: vs.vol, vvbns: vvbns})
 	in.stats.VBucketsFilled++
 	vs.cond.Signal()
 }
@@ -141,12 +179,12 @@ func (in *Infra) GetVBucket(t *sim.Thread, vol *aggregate.Volume) *VBucket {
 	getStart := t.Now()
 	vs := in.vols[vol.ID()]
 	if in.opts.CleanInSerialAffinity {
-		for len(vs.cache) == 0 {
+		for vs.cache.len() == 0 {
 			in.installVBucket(vs, in.scanVBucket(t, vs))
 		}
 	}
 	waited := false
-	for len(vs.cache) == 0 {
+	for vs.cache.len() == 0 {
 		if vs.pendingFills == 0 && in.inCP && !in.draining {
 			in.requestVBucket(vs)
 		}
@@ -160,9 +198,8 @@ func (in *Infra) GetVBucket(t *sim.Thread, vol *aggregate.Volume) *VBucket {
 		}
 		tr.Observe("infra.vget_wait", int64(t.Now()-getStart))
 	}
-	vb := vs.cache[0]
-	vs.cache = vs.cache[1:]
-	if !in.draining && in.inCP && len(vs.cache)+vs.pendingFills < in.opts.VolBucketsReady {
+	vb := vs.cache.pop()
+	if !in.draining && in.inCP && vs.cache.len()+vs.pendingFills < in.opts.VolBucketsReady {
 		in.requestVBucket(vs)
 	}
 	return vb

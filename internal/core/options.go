@@ -92,6 +92,14 @@ type Options struct {
 	// in batches (§III-C). When false (ablation), every update takes the
 	// global counter lock.
 	LooseAccounting bool
+
+	// HierarchicalFree drives volume region selection and bucket fills from
+	// the incrementally maintained free-space index (per-vregion allocatable
+	// counts plus the free-words summary bitmap), so fill cost scales with
+	// blocks found instead of address space scanned. When false (ablation /
+	// pre-change baseline), region selection recounts each region's full
+	// span and fills grind word-by-word through activemap and summary.
+	HierarchicalFree bool
 }
 
 // DefaultOptions returns the standard White Alligator configuration.
@@ -114,5 +122,6 @@ func DefaultOptions() Options {
 		AASelection:      AAMostFree,
 		EqualProgress:    true,
 		LooseAccounting:  true,
+		HierarchicalFree: true,
 	}
 }

@@ -1,0 +1,46 @@
+package core
+
+// fifo is a slice-backed queue that does not leak its consumed prefix: a
+// plain `q = q[1:]` pop keeps the backing array's head elements reachable
+// (pinning popped buckets and their block payloads for the array's
+// lifetime), whereas fifo zeroes each popped slot and copies the live tail
+// down once the dead prefix dominates.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) len() int { return len(q.buf) - q.head }
+
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+func (q *fifo[T]) pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release the reference immediately
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}
+
+// all returns the live elements in queue order without consuming them.
+func (q *fifo[T]) all() []T { return q.buf[q.head:] }
+
+// takeAll removes and returns every queued element. The returned slice is
+// detached from the queue's storage.
+func (q *fifo[T]) takeAll() []T {
+	out := q.buf[q.head:]
+	q.buf = nil
+	q.head = 0
+	return out
+}

@@ -195,9 +195,9 @@ func (v infraStatsView) String() string {
 	st := v.sys.in.Stats()
 	ps := v.sys.pool.Stats()
 	return fmt.Sprintf(
-		"buckets filled=%d committed=%d vbuckets=%d/%d tetris=%d (%d blk) stagemsgs=%d frees=%d fillwords=%d getwaits=%d | jobs=%d batches=%d buffers=%d splits=%d",
+		"buckets filled=%d committed=%d vbuckets=%d/%d tetris=%d (%d blk) stagemsgs=%d frees=%d fillwords=%d vfillwords=%d getwaits=%d | jobs=%d batches=%d buffers=%d splits=%d",
 		st.BucketsFilled, st.BucketsCommitted, st.VBucketsFilled, st.VBucketsCommitted,
 		st.TetrisesSent, st.TetrisBlocks, st.StageCommitMsgs, st.FreesCommitted,
-		st.FillWords, st.GetWaits,
+		st.FillWords, st.VFillWords, st.GetWaits,
 		ps.JobsRun, ps.BatchesRun, ps.BuffersCleaned, ps.FilesSplit)
 }

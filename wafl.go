@@ -431,6 +431,51 @@ func (sys *System) Prewrite(vol int, ino uint64, blocks uint64, shuffle bool) {
 	v.MarkDirty(f)
 }
 
+// AgeOverwrite dirties n random distinct blocks of the file's first span
+// blocks without logging or timing (benchmark setup): combined with live
+// snapshots, repeated overwrite rounds fragment the volume's free space the
+// way months of production churn would. Call Flush between rounds so each
+// round's frees land before the next scatters more.
+func (sys *System) AgeOverwrite(vol int, ino uint64, n int, span uint64) {
+	v := sys.a.Volume(vol)
+	f := v.LookupFile(ino)
+	if f == nil {
+		panic(fmt.Sprintf("wafl: AgeOverwrite of unknown ino %d", ino))
+	}
+	order := make([]uint64, span)
+	for i := range order {
+		order[i] = uint64(i)
+	}
+	sys.s.Rand().Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	if n > len(order) {
+		n = len(order)
+	}
+	for _, fbn := range order[:n] {
+		v.EnsureL0Resident(f, FBN(fbn))
+		f.WriteBlock(FBN(fbn), sys.payload(ino, FBN(fbn), 1))
+	}
+	v.MarkDirty(f)
+}
+
+// SnapCreateDirect queues a snapshot create without logging or timing
+// (benchmark setup); the next CP — e.g. a Flush — materializes it.
+func (sys *System) SnapCreateDirect(vol int) uint64 {
+	return sys.a.Volume(vol).RequestSnapshot()
+}
+
+// SnapDeleteDirect removes a snapshot without logging or timing (benchmark
+// setup); the next CP reclaims its exclusively-held blocks.
+func (sys *System) SnapDeleteDirect(vol int, id uint64) bool {
+	return sys.a.Volume(vol).DeleteSnapshot(id)
+}
+
+// InfraCounters is the allocator infrastructure's cumulative counter set.
+type InfraCounters = core.InfraStats
+
+// Counters returns a snapshot of the infrastructure counters for metric
+// diffing around a measurement window (FillWords, GetWaits, ...).
+func (sys *System) Counters() InfraCounters { return sys.in.Stats() }
+
 // Flush drives consistency points until all dirty state is persisted,
 // without stopping client threads.
 func (sys *System) Flush() error {
