@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench crashcheck ci clean
+.PHONY: all build test vet race racecp bench crashcheck ci clean
 
 all: build
 
@@ -16,9 +16,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# racecp is the focused race gate for the parallel CP engine: the smoke
+# tests plus the parallel-CP regression and determinism tests.
+racecp:
+	$(GO) test -race ./... -run 'TestSmoke|TestParallelCP'
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/waflbench -exp agedvol -benchjson BENCH_PR4.json
+	$(GO) run ./cmd/waflbench -exp parallelcp -benchjson BENCH_PR5.json
 
 # crashcheck runs the bounded crash-schedule fault-injection sweep: crash at
 # dozens of reproducible points (event indices + CP phase boundaries),
@@ -28,7 +34,7 @@ crashcheck:
 
 # ci is the gate run before merging: vet, build, the full test suite under
 # the race detector, and the bounded crash sweep.
-ci: vet build race crashcheck
+ci: vet build race racecp crashcheck
 
 clean:
 	rm -f wafltop waflbench *.test

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol all")
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol parallelcp all")
 	benchjson := flag.String("benchjson", "", "write machine-readable results (ops/sec, fill words, walloc cores, get waits) to this JSON file")
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
@@ -111,6 +111,11 @@ func main() {
 	})
 	run("agedvol", func() (harness.Table, error) {
 		t, res, err := harness.AgedVolume(rc)
+		benchResults = append(benchResults, res...)
+		return t, err
+	})
+	run("parallelcp", func() (harness.Table, error) {
+		t, res, err := harness.ParallelCP(rc)
 		benchResults = append(benchResults, res...)
 		return t, err
 	})

@@ -71,6 +71,9 @@ func main() {
 	fmt.Println("=== consistency points ===")
 	fmt.Println(sys.CPReport())
 	fmt.Println()
+	fmt.Println("=== CP phase durations (always on; no trace needed) ===")
+	fmt.Println(sys.CPPhaseReport())
+	fmt.Println()
 	fmt.Println("=== volumes (snapshots & free-space split) ===")
 	created, deleted, reclaimed := sys.SnapStats()
 	fmt.Printf("%-4s  %6s  %10s  %10s  %10s\n", "vol", "snaps", "active", "snap-held", "free")

@@ -20,6 +20,11 @@ type BenchResult struct {
 	WallocCores         float64 `json:"walloc_cores"` // cleaner + infra
 	InfraCores          float64 `json:"infra_cores"`
 	CPs                 uint64  `json:"cps"`
+	Stalls              uint64  `json:"stalls,omitempty"`
+	StallTimeUs         float64 `json:"stall_time_us,omitempty"`
+	CPAvgUs             float64 `json:"cp_avg_us,omitempty"`
+	CPLongestUs         float64 `json:"cp_longest_us,omitempty"`
+	BackToBack          uint64  `json:"back_to_back,omitempty"`
 	FillWords           uint64  `json:"fill_words"`
 	VFillWords          uint64  `json:"vfill_words"`
 	VBucketsFilled      uint64  `json:"vbuckets_filled"`
@@ -40,6 +45,8 @@ func benchResultFrom(name, mode string, res wafl.Results, c0, c1 wafl.InfraCount
 		WallocCores:    res.Cores.WriteAllocation(),
 		InfraCores:     res.Cores.Infra,
 		CPs:            res.CPs,
+		Stalls:         res.Stalls,
+		StallTimeUs:    res.StallTime.Micros(),
 		FillWords:      c1.FillWords - c0.FillWords,
 		VFillWords:     c1.VFillWords - c0.VFillWords,
 		VBucketsFilled: c1.VBucketsFilled - c0.VBucketsFilled,
@@ -49,6 +56,16 @@ func benchResultFrom(name, mode string, res wafl.Results, c0, c1 wafl.InfraCount
 		b.FillWordsPerVBucket = float64(b.VFillWords) / float64(b.VBucketsFilled)
 	}
 	return b
+}
+
+// addCPStats fills the CP-engine delta fields from CPStats snapshots taken
+// at the measurement window's edges.
+func addCPStats(b *BenchResult, s0, s1 wafl.CPStats) {
+	if cps := s1.CPs - s0.CPs; cps > 0 {
+		b.CPAvgUs = wafl.Duration(s1.TotalDuration-s0.TotalDuration).Micros() / float64(cps)
+	}
+	b.CPLongestUs = s1.LongestDuration.Micros()
+	b.BackToBack = s1.BackToBack - s0.BackToBack
 }
 
 // WriteBenchJSON writes the collected results to path as indented JSON.

@@ -38,6 +38,11 @@ type CrashSweepConfig struct {
 	BaseBlocks int64
 	// MaxRun bounds one simulated run segment.
 	MaxRun wafl.Duration
+	// Modes lists the ParallelCP settings to sweep; every mode repeats the
+	// full event-index and phase-boundary schedule, so each CP boundary is
+	// crash-tested both under fan-out and on the serial ablation. Empty
+	// means "just Base.Allocator.ParallelCP as configured".
+	Modes []bool
 }
 
 // DefaultCrashSweep returns a bounded sweep sized for CI: a small server,
@@ -75,6 +80,7 @@ func DefaultCrashSweep() CrashSweepConfig {
 		SnapEvery:    25,
 		BaseBlocks:   512,
 		MaxRun:       2 * wafl.Second,
+		Modes:        []bool{true, false},
 	}
 }
 
@@ -392,8 +398,9 @@ func runWorkload(sys *wafl.System, cfg CrashSweepConfig, ack *ackLog) bool {
 	return ack.done >= cfg.Clients
 }
 
-// CrashSweep runs the crash-schedule sweep described by cfg and returns a
-// rendered table plus the machine-readable result.
+// CrashSweep runs the crash-schedule sweep described by cfg — once per
+// entry of cfg.Modes (ParallelCP on/off) — and returns a rendered table
+// plus the machine-readable result.
 func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 	var res CrashSweepResult
 	tab := Table{
@@ -401,32 +408,60 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 		Title:   "systematic crash/recovery verification (§II-C contract)",
 		Headers: []string{"seed", "mode", "points", "acked ops", "failures"},
 	}
+	modes := cfg.Modes
+	if len(modes) == 0 {
+		modes = []bool{cfg.Base.Allocator.ParallelCP}
+	}
+	for _, parallel := range modes {
+		cfg := cfg
+		cfg.Base.Allocator.ParallelCP = parallel
+		modeTag := "serial-cp"
+		if parallel {
+			modeTag = "parallel-cp"
+		}
+		if err := crashSweepMode(cfg, modeTag, &tab, &res); err != nil {
+			return tab, res, err
+		}
+	}
 
+	for _, f := range res.Failures {
+		tab.Notes = append(tab.Notes, "FAIL "+f)
+	}
+	if res.OK() {
+		tab.Notes = append(tab.Notes,
+			fmt.Sprintf("%d crash points: recovery + double-crash recovery all verified", res.PointsRun))
+	}
+	return tab, res, nil
+}
+
+// crashSweepMode runs the full event-index + phase-boundary schedule for
+// one ParallelCP mode, appending rows to tab and failures to res.
+func crashSweepMode(cfg CrashSweepConfig, modeTag string, tab *Table, res *CrashSweepResult) error {
 	for _, seed := range cfg.Seeds {
 		// Baseline: learn the crashable event-index span [e0, e1].
 		sys, ack, e0, err := buildSweepSystem(cfg, seed)
 		if err != nil {
-			return tab, res, err
+			return err
 		}
 		if !runWorkload(sys, cfg, ack) {
 			sys.Shutdown()
-			return tab, res, fmt.Errorf("seed %d: baseline workload did not finish", seed)
+			return fmt.Errorf("seed %d (%s): baseline workload did not finish", seed, modeTag)
 		}
 		e1 := sys.Events()
 		totalOps := len(ack.ops)
 		sys.Shutdown()
 		if e1 <= e0+1 {
-			return tab, res, fmt.Errorf("seed %d: empty crashable region [%d,%d]", seed, e0, e1)
+			return fmt.Errorf("seed %d (%s): empty crashable region [%d,%d]", seed, modeTag, e0, e1)
 		}
 
 		// Event-index sweep: evenly spaced points strictly inside (e0, e1).
 		failsBefore := len(res.Failures)
 		for i := 0; i < cfg.Points; i++ {
 			k := e0 + uint64(i+1)*(e1-e0)/uint64(cfg.Points+1)
-			label := fmt.Sprintf("seed%d@event%d", seed, k)
+			label := fmt.Sprintf("seed%d@event%d/%s", seed, k, modeTag)
 			sys, ack, _, err := buildSweepSystem(cfg, seed)
 			if err != nil {
-				return tab, res, err
+				return err
 			}
 			if !sys.RunToEvent(k, 128*cfg.MaxRun) {
 				sys.Shutdown()
@@ -443,7 +478,7 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 			}
 		}
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%d", seed), "event-index", fmt.Sprintf("%d", cfg.Points),
+			fmt.Sprintf("%d", seed), "event-index/" + modeTag, fmt.Sprintf("%d", cfg.Points),
 			fmt.Sprintf("%d", totalOps), fmt.Sprintf("%d", len(res.Failures)-failsBefore),
 		})
 	}
@@ -457,7 +492,7 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 		for j := 1; j <= cfg.Phases; j++ {
 			sys, ack, _, err := buildSweepSystem(cfg, seed)
 			if err != nil {
-				return tab, res, err
+				return err
 			}
 			hits, target := 0, j
 			var phaseName string
@@ -484,7 +519,7 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 				sys.Shutdown()
 				break
 			}
-			label := fmt.Sprintf("seed%d@phase%d(%s)", seed, j, phaseName)
+			label := fmt.Sprintf("seed%d@phase%d(%s)/%s", seed, j, phaseName, modeTag)
 			var final *wafl.System
 			res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
 			res.PointsRun++
@@ -496,17 +531,9 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 			}
 		}
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%d", seed), "cp-phase", fmt.Sprintf("%d", points),
+			fmt.Sprintf("%d", seed), "cp-phase/" + modeTag, fmt.Sprintf("%d", points),
 			"-", fmt.Sprintf("%d", len(res.Failures)-failsBefore),
 		})
 	}
-
-	for _, f := range res.Failures {
-		tab.Notes = append(tab.Notes, "FAIL "+f)
-	}
-	if res.OK() {
-		tab.Notes = append(tab.Notes,
-			fmt.Sprintf("%d crash points: recovery + double-crash recovery all verified", res.PointsRun))
-	}
-	return tab, res, nil
+	return nil
 }

@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"wafl"
+	"wafl/workload"
+)
+
+// ParallelCP measures the tentpole of parallel consistency points: the same
+// workload run with the serial CP engine and with per-volume CP phases
+// fanned across the Volume affinities. NVRAM is shrunk so the CP cadence is
+// the bottleneck — client writes stall on log-half exhaustion whenever the
+// CP tail is too slow — which makes CP duration directly visible as client
+// NVRAM-stall time and back-to-back CP counts.
+func ParallelCP(rc RunConfig) (Table, []BenchResult, error) {
+	t := Table{
+		ID:    "parallelcp",
+		Title: "Parallel vs serial consistency points under NVRAM pressure",
+		Headers: []string{"workload", "mode", "ops/s", "MB/s", "lat p99",
+			"cps", "cp avg", "back2back", "stalls", "stall time"},
+	}
+	var out []BenchResult
+
+	workloads := []struct {
+		name   string
+		attach func(cfg *wafl.Config) func(*wafl.System)
+	}{
+		{"manyfile", func(cfg *wafl.Config) func(*wafl.System) {
+			w := workload.DefaultManyFile()
+			cfg.Volumes = w.Volumes
+			return w.Attach
+		}},
+		{"randwrite", func(cfg *wafl.Config) func(*wafl.System) {
+			w := workload.DefaultRandWrite()
+			cfg.Volumes = w.Volumes
+			return w.Attach
+		}},
+		{"agedvol", func(cfg *wafl.Config) func(*wafl.System) {
+			w := workload.DefaultAgedVol()
+			cfg.Volumes = w.Volumes
+			cfg.VolumeBlocks = 1 << 18 // 8 vregions; aged to ~84% occupancy
+			cfg.DriveBlocks = 131072   // physical headroom for the aged image
+			return w.Attach
+		}},
+	}
+	modes := []struct {
+		name     string
+		parallel bool
+	}{
+		{"serial", false},
+		{"parallel", true},
+	}
+	for _, w := range workloads {
+		var pair []BenchResult
+		for _, m := range modes {
+			cfg := rc.Base
+			cfg.NVRAMHalfBytes = 2 << 20 // CP-bound: the log half fills fast
+			cfg.Allocator.ParallelCP = m.parallel
+			attach := w.attach(&cfg)
+			sys, err := wafl.NewSystem(cfg)
+			if err != nil {
+				return t, out, err
+			}
+			attach(sys)
+			sys.Run(rc.Warmup)
+			c0, s0 := sys.Counters(), sys.CPStats()
+			res := sys.Measure(0, rc.Window)
+			c1, s1 := sys.Counters(), sys.CPStats()
+			sys.Shutdown()
+			b := benchResultFrom("parallelcp/"+w.name, m.name, res, c0, c1)
+			addCPStats(&b, s0, s1)
+			pair = append(pair, b)
+			out = append(out, b)
+			t.Rows = append(t.Rows, []string{
+				w.name, m.name, f0(b.OpsPerSec), f2(b.MBPerSec), ms(res.LatP99),
+				fmt.Sprintf("%d", b.CPs), fmt.Sprintf("%.0fus", b.CPAvgUs),
+				fmt.Sprintf("%d", b.BackToBack),
+				fmt.Sprintf("%d", b.Stalls), ms(res.StallTime),
+			})
+		}
+		if len(pair) == 2 && pair[1].CPAvgUs > 0 {
+			t.Notes = append(t.Notes, fmt.Sprintf(
+				"%s: cp avg %.0fus -> %.0fus (%.2fx), stall time %.1fms -> %.1fms, back2back %d -> %d",
+				w.name, pair[0].CPAvgUs, pair[1].CPAvgUs,
+				pair[0].CPAvgUs/pair[1].CPAvgUs,
+				pair[0].StallTimeUs/1000, pair[1].StallTimeUs/1000,
+				pair[0].BackToBack, pair[1].BackToBack))
+		}
+	}
+	return t, out, nil
+}

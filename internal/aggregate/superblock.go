@@ -34,6 +34,12 @@ func (a *Aggregate) encodeSuperblock() []byte {
 	return b
 }
 
+// SuperblockBytes returns the encoded current commit state — the exact
+// bytes WriteSuperblock would persist. Determinism tests compare it across
+// runs as a compact digest of the committed tree (roots, CP count,
+// checksum).
+func (a *Aggregate) SuperblockBytes() []byte { return a.encodeSuperblock() }
+
 // WriteSuperblock atomically persists the current commit state by
 // overwriting the superblock in place — the single non-copy-on-write write
 // in the system (paper §II-C). It blocks the calling simulated thread until

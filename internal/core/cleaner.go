@@ -451,7 +451,14 @@ func (p *Pool) cleanFile(cs *cleanerState, job *Job, f *fs.File) {
 				t.Consume(p.costs.StagePush)
 				vid := job.Vol.ID()
 				cs.stageVirt[vid] = append(cs.stageVirt[vid], uint64(oldVVBN))
-				p.in.CleanerCounterAdd(t, cs.tok, p.in.VolFreeID(vid), 1)
+				// The volume counter tracks allocatable VVBNs (!active &&
+				// !summary): a snapshot-held overwrite leaves the active
+				// map but stays pinned by its summary bit, so it is not
+				// yet allocatable — its credit comes from the snapshot
+				// reclaim that drops the last holder.
+				if !snapHeld {
+					p.in.CleanerCounterAdd(t, cs.tok, p.in.VolFreeID(vid), 1)
+				}
 				if len(cs.stageVirt[vid]) >= p.opts.StageSize {
 					p.commitStageVirt(cs, vid)
 				}

@@ -158,7 +158,12 @@ func NewInfra(w *waffinity.Scheduler, h *waffinity.Hierarchy, a *aggregate.Aggre
 			reserved:    newBitset(v.VVBNBlocks()),
 		}
 		vs.freeCounter = in.Counters.Register(fmt.Sprintf("vol%d.free", v.ID()))
-		in.Counters.Add(vs.freeCounter, int64(v.Activemap.Free()))
+		// The volume counter tracks *allocatable* VVBNs — free means
+		// !active && !summary, the same predicate the allocator's
+		// findFreeVirt obeys — so snapshot-held blocks are excluded from
+		// the initial count just as they are from every later credit.
+		free, _ := v.Activemap.CountFreeNotIn(v.Summary, 0, v.VVBNBlocks())
+		in.Counters.Add(vs.freeCounter, int64(free))
 		in.vols[v.ID()] = vs
 	}
 	// Observe every physical free so same-CP reuse is blocked.
@@ -193,6 +198,10 @@ func (in *Infra) Stats() InfraStats { return in.stats }
 
 // AggrFree returns the loosely-accounted global free-block counter.
 func (in *Infra) AggrFree() int64 { return in.Counters.Get(in.aggrFreeCtr) }
+
+// VolFree returns the loosely-accounted allocatable-VVBN counter of volID
+// (free = !active && !summary; snapshot-held blocks excluded).
+func (in *Infra) VolFree(volID int) int64 { return in.Counters.Get(in.vols[volID].freeCounter) }
 
 // aggrRangeAff returns the affinity for aggregate-metafile work on block
 // fbn: a Range affinity when the infrastructure is parallelized. When

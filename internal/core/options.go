@@ -100,6 +100,16 @@ type Options struct {
 	// pre-change baseline), region selection recounts each region's full
 	// span and fills grind word-by-word through activemap and summary.
 	HierarchicalFree bool
+
+	// ParallelCP fans the per-volume CP phases (freeze, zombie block walks,
+	// snapshot capture, inode-record writes, snapdir rewrites) out across
+	// the Waffinity Volume affinities instead of running them inline on the
+	// cp-engine thread, shrinking the serial section that back-to-back
+	// stalls wait on. When false (ablation / pre-change baseline), every
+	// phase runs serially on the engine thread. Ignored (forced serial)
+	// under CleanInSerialAffinity, whose whole point is the pre-2008
+	// exclusive-CP design.
+	ParallelCP bool
 }
 
 // DefaultOptions returns the standard White Alligator configuration.
@@ -123,5 +133,6 @@ func DefaultOptions() Options {
 		EqualProgress:    true,
 		LooseAccounting:  true,
 		HierarchicalFree: true,
+		ParallelCP:       true,
 	}
 }

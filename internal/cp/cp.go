@@ -9,6 +9,7 @@ package cp
 
 import (
 	"fmt"
+	"strings"
 
 	"wafl/internal/aggregate"
 	"wafl/internal/block"
@@ -49,7 +50,14 @@ type Engine struct {
 	in    *core.Infra
 	pool  *core.Pool
 	log   *nvlog.Log
+	opts  core.Options
 	costs core.CostModel
+
+	// phaseHist holds the always-on per-phase duration histograms (keyed by
+	// phase name, phaseOrder preserving execution order). Only the engine
+	// thread observes into them, between scatter joins.
+	phaseHist  map[string]*obs.Histogram
+	phaseOrder []string
 
 	trigger *sim.WaitQueue
 	cpDone  *sim.WaitQueue
@@ -99,22 +107,92 @@ func (e *Engine) snapTrack(tr *obs.Tracer) int32 {
 	return e.obsSnapTid - 1
 }
 
-// phaseSpan emits one CP phase span and returns the phase's end time, the
-// start of the next phase.
-func (e *Engine) phaseSpan(tr *obs.Tracer, name string, start sim.Time, now sim.Time) sim.Time {
-	tr.Span(obs.PidCP, e.track(tr), "cp", name, int64(start), int64(now))
-	return now
+// observePhase records one phase duration into the engine-held, always-on
+// histogram set (maintained whether or not tracing is enabled).
+func (e *Engine) observePhase(name string, d int64) {
+	h := e.phaseHist[name]
+	if h == nil {
+		h = obs.NewHistogram("cp.phase." + name)
+		e.phaseHist[name] = h
+		e.phaseOrder = append(e.phaseOrder, name)
+	}
+	h.Observe(d)
+}
+
+// PhaseHistogram returns the duration histogram of one CP phase by name
+// ("clean", "records", ...), or nil if that phase has never completed.
+func (e *Engine) PhaseHistogram(name string) *obs.Histogram { return e.phaseHist[name] }
+
+// PhaseReport renders the per-phase CP duration breakdown (count, mean,
+// p50/p95/p99, max) in execution order, so the serial-vs-parallel CP split
+// is visible without loading a Chrome trace.
+func (e *Engine) PhaseReport() string {
+	if len(e.phaseOrder) == 0 {
+		return "no consistency points completed"
+	}
+	var b strings.Builder
+	for _, name := range e.phaseOrder {
+		b.WriteString(e.phaseHist[name].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // New creates the engine and starts its thread.
-func New(w *waffinity.Scheduler, h *waffinity.Hierarchy, a *aggregate.Aggregate, in *core.Infra, pool *core.Pool, log *nvlog.Log, costs core.CostModel) *Engine {
+func New(w *waffinity.Scheduler, h *waffinity.Hierarchy, a *aggregate.Aggregate, in *core.Infra, pool *core.Pool, log *nvlog.Log, opts core.Options, costs core.CostModel) *Engine {
 	e := &Engine{
-		s: a.Sched(), w: w, h: h, a: a, in: in, pool: pool, log: log, costs: costs,
-		trigger: sim.NewWaitQueue(a.Sched(), "cp-trigger"),
-		cpDone:  sim.NewWaitQueue(a.Sched(), "cp-done"),
+		s: a.Sched(), w: w, h: h, a: a, in: in, pool: pool, log: log, opts: opts, costs: costs,
+		trigger:   sim.NewWaitQueue(a.Sched(), "cp-trigger"),
+		cpDone:    sim.NewWaitQueue(a.Sched(), "cp-done"),
+		phaseHist: make(map[string]*obs.Histogram),
 	}
 	e.s.Go("cp-engine", sim.CatCP, func(t *sim.Thread) { e.loop(t) })
 	return e
+}
+
+// parallel reports whether per-volume CP phases fan out across the Volume
+// affinities. CleanInSerialAffinity forces the serial path: that mode
+// models the pre-2008 design in which CP work owns the Serial affinity.
+func (e *Engine) parallel() bool { return e.opts.ParallelCP && !e.opts.CleanInSerialAffinity }
+
+// scatterVolumes runs fn once per volume of vols, in slice (sorted-ID)
+// order. Serial mode runs the units inline on the engine thread; parallel
+// mode dispatches each as a message in that volume's Volume affinity and
+// joins before returning, so volumes proceed concurrently under the same
+// exclusion rules client operations obey. Determinism: units are enqueued
+// in volume order and the sim scheduler is deterministic, so the
+// interleaving is a pure function of prior simulation state. Workers may
+// touch engine/infra state directly — at most one simulated thread runs at
+// any real instant, so there is no host-level race — but fn must produce
+// only order-independent effects: slot writes indexed by i, counter adds,
+// stat increments.
+func (e *Engine) scatterVolumes(t *sim.Thread, name string, vols []*aggregate.Volume, fn func(wt *sim.Thread, v *aggregate.Volume, i int)) {
+	if !e.parallel() {
+		for i, v := range vols {
+			fn(t, v, i)
+		}
+		return
+	}
+	units := make([]waffinity.Unit, len(vols))
+	for i, v := range vols {
+		i, v := i, v
+		units[i] = waffinity.Unit{
+			Aff: e.h.Aggrs[0].Volumes[v.ID()].Volume,
+			Cat: sim.CatCP,
+			Fn: func(wt *sim.Thread) {
+				start := wt.Now()
+				fn(wt, v, i)
+				// Per-volume phase span on the executing worker's own
+				// track, so the fan-out's overlap is visible in the trace.
+				if tr := wt.Tracer(); tr != nil {
+					tr.Span(obs.PidThreads, wt.TrackID(), "cp",
+						fmt.Sprintf("cp.%s vol%d", name, v.ID()),
+						int64(start), int64(wt.Now()))
+				}
+			},
+		}
+	}
+	e.w.ScatterJoin(t, units)
 }
 
 // Stats returns a snapshot of engine counters.
@@ -166,11 +244,27 @@ func (e *Engine) loop(t *sim.Thread) {
 	}
 }
 
-// runCP executes one full consistency point on the engine thread.
+// runCP executes one full consistency point. The engine thread owns phase
+// ordering, the drains, and the crash-boundary hooks; the per-volume work
+// inside phases 1, 1b, 2b, 3, 3b, and 5 fans out across the Waffinity
+// Volume affinities when ParallelCP is on (see scatterVolumes).
 func (e *Engine) runCP(t *sim.Thread) {
 	start := t.Now()
 	tr := t.Tracer()
 	ph := start // start of the phase currently executing
+
+	// phase closes out the currently-running phase: it always feeds the
+	// engine's duration histograms (wafltop's p50/p99 breakdown), and when
+	// tracing also emits the span plus a cp.phase.<name> observation.
+	phase := func(name string) {
+		now := t.Now()
+		e.observePhase(name, int64(now-ph))
+		if tr != nil {
+			tr.Span(obs.PidCP, e.track(tr), "cp", name, int64(ph), int64(now))
+			tr.Observe("cp.phase."+name, int64(now-ph))
+		}
+		ph = now
+	}
 
 	e.boundary(t, "start")
 	// Phase 1: freeze. Atomically capture the dirty state: switch NVRAM
@@ -181,30 +275,47 @@ func (e *Engine) runCP(t *sim.Thread) {
 	// next — so an acked create is always covered by a committed CP or a
 	// surviving log record.
 	e.log.Switch()
+	vols := e.a.Volumes()
 	snapPend := make(map[int][]uint64)
 	snapSetChanged := make(map[int]bool)
-	for _, v := range e.a.Volumes() {
+	for _, v := range vols {
 		if p := v.TakePendingSnapshots(); len(p) > 0 {
 			snapPend[v.ID()] = p
 		}
 	}
-	var dirtyVols []*aggregate.Volume
-	frozen := make(map[int][]*fs.File)
-	for _, v := range e.a.Volumes() {
+	// The freeze itself fans out per volume. Client writes interleave with
+	// it either way (the serial loop yields in Consume between volumes):
+	// a buffer dirtied after the switch but before its volume's freeze is
+	// frozen into this CP with its log record in the next half, which is
+	// safe because replay is idempotent. Under fan-out each volume's freeze
+	// additionally excludes that volume's client ops (Stripes are
+	// descendants of Volume), making the per-volume cut atomic.
+	frozenSlots := make([][]*fs.File, len(vols))
+	e.scatterVolumes(t, "freeze", vols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
 		files := v.FreezeAll()
 		if len(files) > 0 {
+			frozenSlots[i] = files
+			wt.Consume(sim.Duration(len(files)) * e.costs.CPPerInode)
+		}
+	})
+	var dirtyVols []*aggregate.Volume
+	frozen := make(map[int][]*fs.File)
+	for i, v := range vols {
+		if len(frozenSlots[i]) > 0 {
 			dirtyVols = append(dirtyVols, v)
-			frozen[v.ID()] = files
-			t.Consume(sim.Duration(len(files)) * e.costs.CPPerInode)
+			frozen[v.ID()] = frozenSlots[i]
 		}
 	}
 
 	// Phase 1b: zombie processing — deleted files' on-disk blocks are
 	// reclaimed through the same free-commit machinery, and their inode
-	// records cleared. Deferred deletion, as in WAFL.
+	// records cleared. Deferred deletion, as in WAFL. Each volume's zombie
+	// walks are independent (all state is per-volume; free commits are
+	// asynchronous messages), so the walks fan out per volume.
 	e.in.StartCP(dirtyVols)
-	snapZombies := make(map[int][]*snap.Snapshot)
-	for _, v := range e.a.Volumes() {
+	snapZSlots := make([][]*snap.Snapshot, len(vols))
+	reapedSlots := make([]map[uint64]bool, len(vols))
+	e.scatterVolumes(t, "zombies", vols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
 		for _, z := range v.TakeZombies() {
 			if z.FrozenCount() > 0 {
 				// The file was frozen into this very CP before being
@@ -214,21 +325,52 @@ func (e *Engine) runCP(t *sim.Thread) {
 				continue
 			}
 			pvbns, vvbns, walked := v.ZombieBlocks(z)
-			t.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
-			e.in.CommitFrees(t, -1, pvbns)
-			e.in.CommitFrees(t, v.ID(), vvbns)
+			wt.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
+			e.in.CommitFrees(wt, -1, pvbns)
+			e.in.CommitFrees(wt, v.ID(), vvbns)
 			// Zombie frees happen outside any cleaner token: account them
-			// directly (the CP thread is uncontended).
+			// directly. The volume counter tracks *allocatable* VVBNs
+			// (free = !active && !summary), so a block whose active bit
+			// clears here but which a snapshot still summary-holds does
+			// not credit it — its credit comes later, from the snapshot
+			// reclaim that drops the last holder.
+			alloc := 0
+			for _, vv := range vvbns {
+				if !v.SummaryHeld(vv) {
+					alloc++
+				}
+			}
 			e.in.Counters.Add(e.in.AggrFreeID(), int64(len(pvbns)))
-			e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(len(vvbns)))
+			e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(alloc))
 			v.ClearRecord(z.Ino())
+			// Remember the reap: if the file was also in this CP's frozen
+			// list (a record-only freeze deleted between the freeze and
+			// zombie phases — both yield), phase 3 must not re-write its
+			// record over the clear, or the deleted file is resurrected on
+			// disk.
+			if reapedSlots[i] == nil {
+				reapedSlots[i] = make(map[uint64]bool)
+			}
+			reapedSlots[i][z.Ino()] = true
 			e.stats.ZombiesReaped++
 		}
-		if z := v.TakeSnapZombies(); len(z) > 0 {
-			snapZombies[v.ID()] = z
+		snapZSlots[i] = v.TakeSnapZombies()
+	})
+	reaped := make(map[int]map[uint64]bool)
+	for i, v := range vols {
+		if reapedSlots[i] != nil {
+			reaped[v.ID()] = reapedSlots[i]
 		}
 	}
-	if len(snapZombies) > 0 {
+	var zvols []*aggregate.Volume
+	var zlists [][]*snap.Snapshot
+	for i, v := range vols {
+		if len(snapZSlots[i]) > 0 {
+			zvols = append(zvols, v)
+			zlists = append(zlists, snapZSlots[i])
+		}
+	}
+	if len(zvols) > 0 {
 		// The file-zombie free commits above are applied asynchronously by
 		// range-affinity messages. A snapshot reclaim diffs the victim's
 		// snapmap against activemap *content*, so an in-flight clear — a file
@@ -238,28 +380,32 @@ func (e *Engine) runCP(t *sim.Thread) {
 		// for the messages to settle (without entering drain mode — the
 		// cleaning phase's fill pipeline hasn't started yet).
 		e.in.DrainFrees(t)
-	}
-	for _, v := range e.a.Volumes() {
 		// Snapshot zombies: diff the victim's snapmap against the active map
 		// and surviving snapmaps, clear the summary bits nobody else holds,
 		// and return exclusively-held blocks (plus the snapshot's own
 		// metafile trees) to the aggregate. Same-CP physical reuse is fenced
 		// by the pending-free set, exactly like file zombie frees.
-		zombies := snapZombies[v.ID()]
-		for zi, z := range zombies {
-			pvbns, freedVVBNs, walked := v.ReclaimSnapshot(z, zombies[zi+1:])
-			t.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
-			e.in.CommitFrees(t, -1, pvbns)
-			e.in.Counters.Add(e.in.AggrFreeID(), int64(len(pvbns)))
-			e.stats.SnapsDeleted++
-			e.stats.SnapReclaimed += uint64(len(pvbns))
-			snapSetChanged[v.ID()] = true
-			_ = freedVVBNs
-			if tr != nil {
-				tr.InstantArg(obs.PidCP, e.snapTrack(tr), "snap", "snap-delete", int64(t.Now()), int64(z.ID))
-				tr.Observe("snap.reclaimed", int64(len(pvbns)))
+		e.scatterVolumes(t, "snapreclaim", zvols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
+			zombies := zlists[i]
+			for zi, z := range zombies {
+				pvbns, freedVVBNs, walked := v.ReclaimSnapshot(z, zombies[zi+1:])
+				wt.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
+				e.in.CommitFrees(wt, -1, pvbns)
+				e.in.Counters.Add(e.in.AggrFreeID(), int64(len(pvbns)))
+				// The reclaimed VVBNs' active bits were already clear and
+				// their last summary holder is gone: they re-enter the
+				// volume's allocatable pool, so credit the volume free
+				// counter — the twin of the file-zombie credit above.
+				e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(freedVVBNs))
+				e.stats.SnapsDeleted++
+				e.stats.SnapReclaimed += uint64(len(pvbns))
+				snapSetChanged[v.ID()] = true
+				if wtr := wt.Tracer(); wtr != nil {
+					wtr.InstantArg(obs.PidCP, e.snapTrack(wtr), "snap", "snap-delete", int64(wt.Now()), int64(z.ID))
+					wtr.Observe("snap.reclaimed", int64(len(pvbns)))
+				}
 			}
-		}
+		})
 	}
 
 	// Phase 2: inode cleaning through the White Alligator API.
@@ -268,17 +414,15 @@ func (e *Engine) runCP(t *sim.Thread) {
 		jobs = append(jobs, e.pool.BuildJobs(v, frozen[v.ID()], true)...)
 	}
 	cleanStart := t.Now()
-	if tr != nil {
-		ph = e.phaseSpan(tr, "freeze+zombies", ph, cleanStart)
-	}
+	phase("freeze+zombies")
 	e.pool.RunPhase(t, jobs)
 	// Wait only for infrastructure messages: the allocation-bitmap state
 	// must be final before metafiles are cleaned, but the tetris write
 	// I/Os keep flowing underneath the metafile phases.
 	e.in.DrainOps(t)
 	e.stats.CleanDuration += sim.Duration(t.Now() - cleanStart)
+	phase("clean")
 	if tr != nil {
-		ph = e.phaseSpan(tr, "clean", ph, t.Now())
 		tr.Observe("cp.clean", int64(t.Now()-cleanStart))
 	}
 	e.boundary(t, "clean")
@@ -286,54 +430,74 @@ func (e *Engine) runCP(t *sim.Thread) {
 	// Phase 2b: snapshot capture, part one. With cleaning drained, the
 	// volume activemaps hold this CP's final allocation state: copy each
 	// pending snapshot's snapmap from the live amap content and fold it into
-	// the summary map. (The inode-file half of the image is captured after
-	// phase 3, once records are written.)
-	type pendingSnap struct {
-		vol *aggregate.Volume
-		s   *snap.Snapshot
+	// the summary map, per volume. (The inode-file half of the image is
+	// captured after phase 3, once records are written.)
+	var pvols []*aggregate.Volume
+	for _, v := range vols {
+		if len(snapPend[v.ID()]) > 0 {
+			pvols = append(pvols, v)
+		}
 	}
-	var newSnaps []pendingSnap
-	for _, v := range e.a.Volumes() {
-		for _, id := range snapPend[v.ID()] {
+	snapSlots := make([][]*snap.Snapshot, len(pvols))
+	e.scatterVolumes(t, "snapcapture", pvols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
+		ids := snapPend[v.ID()]
+		out := make([]*snap.Snapshot, 0, len(ids))
+		for _, id := range ids {
 			s, copied := v.MaterializeSnapshot(id, e.a.CPCount()+1)
-			t.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
-			newSnaps = append(newSnaps, pendingSnap{vol: v, s: s})
-			snapSetChanged[v.ID()] = true
-			e.stats.SnapsCreated++
-			if tr != nil {
-				tr.InstantArg(obs.PidCP, e.snapTrack(tr), "snap", "snap-create", int64(t.Now()), int64(id))
+			wt.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
+			out = append(out, s)
+			if wtr := wt.Tracer(); wtr != nil {
+				wtr.InstantArg(obs.PidCP, e.snapTrack(wtr), "snap", "snap-create", int64(wt.Now()), int64(id))
 			}
 		}
+		snapSlots[i] = out
+	})
+	for i, v := range pvols {
+		snapSetChanged[v.ID()] = true
+		e.stats.SnapsCreated += uint64(len(snapSlots[i]))
 	}
 
 	// Phase 3: inode records. Roots are final; serialize the records into
-	// the inode files.
+	// the inode files, per volume.
 	metaStart := t.Now()
-	for _, v := range dirtyVols {
-		for _, f := range frozen[v.ID()] {
+	e.scatterVolumes(t, "records", dirtyVols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
+		files := frozen[v.ID()]
+		written := 0
+		for _, f := range files {
+			if r := reaped[v.ID()]; r != nil && r[f.Ino()] {
+				// Deleted after the freeze and already reaped by phase 1b
+				// (possible only for a buffer-less record-only freeze):
+				// writing the stale record would resurrect the file.
+				continue
+			}
 			v.WriteRecord(f)
-			t.Consume(e.costs.RecordWrite)
-			e.stats.RecordsWritten++
+			wt.Consume(e.costs.RecordWrite)
+			written++
 		}
-		e.stats.InodesCleaned += uint64(len(frozen[v.ID()]))
-	}
+		e.stats.RecordsWritten += uint64(written)
+		e.stats.InodesCleaned += uint64(len(files))
+	})
 
-	if tr != nil {
-		ph = e.phaseSpan(tr, "records", ph, t.Now())
-	}
+	phase("records")
 	e.boundary(t, "records")
 
 	// Phase 3b: snapshot capture, part two. Inode-file content is final
 	// (records written, deleted records cleared): copy it into each new
-	// snapshot's inocopy metafile. Both snapshot metafiles are then cleaned
-	// alongside the volume metafiles in phase 4.
+	// snapshot's inocopy metafile, per volume. Both snapshot metafiles are
+	// then cleaned alongside the volume metafiles in phase 4.
+	e.scatterVolumes(t, "inocopy", pvols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
+		for _, s := range snapSlots[i] {
+			copied := snap.CopyContent(s.InoCopy, v.InoFile())
+			wt.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
+		}
+	})
 	var snapJobs []*core.Job
-	for _, ps := range newSnaps {
-		copied := snap.CopyContent(ps.s.InoCopy, ps.vol.InoFile())
-		t.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
-		snapJobs = append(snapJobs,
-			&core.Job{Vol: ps.vol, Files: []*fs.File{ps.s.Snapmap}, Mode: core.JobFull},
-			&core.Job{Vol: ps.vol, Files: []*fs.File{ps.s.InoCopy}, Mode: core.JobFull})
+	for i, v := range pvols {
+		for _, s := range snapSlots[i] {
+			snapJobs = append(snapJobs,
+				&core.Job{Vol: v, Files: []*fs.File{s.Snapmap}, Mode: core.JobFull},
+				&core.Job{Vol: v, Files: []*fs.File{s.InoCopy}, Mode: core.JobFull})
+		}
 	}
 
 	// Phase 4: volume metafiles (inode file, container map, volume
@@ -349,22 +513,26 @@ func (e *Engine) runCP(t *sim.Thread) {
 		}
 	}
 	e.pool.RunPhase(t, metaJobs)
-	if tr != nil {
-		ph = e.phaseSpan(tr, "metafiles", ph, t.Now())
-	}
+	phase("metafiles")
 	e.boundary(t, "metafiles")
 
 	// Phase 5: snapdir + volume table. Volumes whose snapshot set changed
 	// rewrite their snapdir from the live set — the snapmap/inocopy roots
-	// are final after phase 4 — and the snapdir is cleaned before the
-	// volume-table entries (which hold its root) are serialized.
-	var sdJobs []*core.Job
-	for _, v := range e.a.Volumes() {
-		if !snapSetChanged[v.ID()] {
-			continue
+	// are final after phase 4 — per volume; the snapdir is cleaned before
+	// the volume-table entries (which hold its root) are serialized. The
+	// volume table itself is aggregate state: it stays on the engine thread.
+	var svols []*aggregate.Volume
+	for _, v := range vols {
+		if snapSetChanged[v.ID()] {
+			svols = append(svols, v)
 		}
+	}
+	e.scatterVolumes(t, "snapdir", svols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
 		v.WriteSnapdirEntries()
-		t.Consume(e.costs.RecordWrite)
+		wt.Consume(e.costs.RecordWrite)
+	})
+	var sdJobs []*core.Job
+	for _, v := range svols {
 		if v.SnapdirFile().FrozenCount() > 0 {
 			sdJobs = append(sdJobs, &core.Job{Vol: v, Files: []*fs.File{v.SnapdirFile()}, Mode: core.JobFull})
 		}
@@ -377,9 +545,7 @@ func (e *Engine) runCP(t *sim.Thread) {
 		e.pool.RunPhase(t, []*core.Job{{Files: []*fs.File{e.a.VolTableFile()}, Mode: core.JobFull}})
 	}
 	e.in.DrainOps(t)
-	if tr != nil {
-		ph = e.phaseSpan(tr, "voltable", ph, t.Now())
-	}
+	phase("voltable")
 	e.boundary(t, "voltable")
 
 	// Phase 6: the self-referential aggregate activemap, via the
@@ -396,8 +562,8 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.issueAmapWrites(t, writes)
 	e.in.DrainIO(t)
 	e.stats.MetaDuration += sim.Duration(t.Now() - metaStart)
+	phase("amap flush")
 	if tr != nil {
-		ph = e.phaseSpan(tr, "amap flush", ph, t.Now())
 		tr.Observe("cp.meta", int64(t.Now()-metaStart))
 	}
 	e.boundary(t, "amap")
@@ -413,13 +579,14 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.in.EndCP()
 	e.boundary(t, "done")
 
+	phase("commit")
 	if tr != nil {
-		e.phaseSpan(tr, "commit", ph, t.Now())
 		tr.SpanArg(obs.PidCP, e.track(tr), "cp", "CP", int64(start), int64(t.Now()),
 			int64(e.a.CPCount()))
 		tr.Observe("cp.total", int64(t.Now()-start))
 	}
 	d := sim.Duration(t.Now() - start)
+	e.observePhase("total", int64(d))
 	e.stats.CPs++
 	e.stats.TotalDuration += d
 	e.stats.LastDuration = d

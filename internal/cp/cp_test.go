@@ -46,7 +46,7 @@ func newEnv(t *testing.T) *env {
 	in := core.NewInfra(w, h, a, opts, costs)
 	pool := core.NewPool(in, opts, costs)
 	log := nvlog.New(1 << 20)
-	engine := New(w, h, a, in, pool, log, costs)
+	engine := New(w, h, a, in, pool, log, opts, costs)
 	return &env{s: s, a: a, in: in, pool: pool, log: log, engine: engine}
 }
 

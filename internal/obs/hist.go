@@ -32,6 +32,11 @@ func newHistogram(name string) *Histogram {
 	return &Histogram{Name: name, buckets: make([]uint64, maxBuckets)}
 }
 
+// NewHistogram creates a standalone histogram for callers that keep their
+// own metric state (e.g. the CP engine's always-on phase-duration
+// histograms) rather than registering through a Tracer.
+func NewHistogram(name string) *Histogram { return newHistogram(name) }
+
 // bucketOf maps a non-negative sample to its bucket index: exact for
 // v < subCount, then the octave [2^e, 2^(e+1)) splits into subCount
 // sub-buckets of width 2^(e-subBits).

@@ -1,0 +1,36 @@
+package waffinity
+
+import "wafl/internal/sim"
+
+// Unit is one independent work item for ScatterJoin: fn runs as a message
+// in aff with its CPU attributed to cat.
+type Unit struct {
+	Aff *Affinity
+	Cat sim.Category
+	Fn  func(*sim.Thread)
+}
+
+// ScatterJoin enqueues every unit (in slice order, so the event stream is a
+// deterministic function of the caller's ordering) and blocks t until all
+// of them have completed. Units on disjoint affinities execute concurrently
+// under the hierarchy's usual exclusion rules; the join is a counted wait on
+// a single WaitQueue, like Call. t must not be a Waffinity worker — a worker
+// blocked on other messages could deadlock the pool.
+func (w *Scheduler) ScatterJoin(t *sim.Thread, units []Unit) {
+	if len(units) == 0 {
+		return
+	}
+	wq := sim.NewWaitQueue(w.s, "waffinity.scatter")
+	remaining := len(units)
+	for _, u := range units {
+		w.Send(u.Aff, u.Cat, u.Fn, func() {
+			remaining--
+			if remaining == 0 {
+				wq.Signal()
+			}
+		})
+	}
+	for remaining > 0 {
+		wq.Wait(t)
+	}
+}

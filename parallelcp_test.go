@@ -1,0 +1,208 @@
+package wafl
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// runOverloadedCP drives a back-to-back-CP workload (tiny NVRAM, closed-loop
+// writers across both volumes) with ParallelCP on or off and returns the
+// measured window plus cumulative CP-engine stats. Everything else — seed,
+// workload, geometry — is identical, so the two modes are directly
+// comparable.
+func runOverloadedCP(t *testing.T, parallel bool) (Results, CPStats) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Volumes = 4
+	cfg.VolumeBlocks = 1 << 14
+	cfg.NVRAMHalfBytes = 256 << 10 // tiny log: constant back-to-back CPs
+	cfg.Allocator.ParallelCP = parallel
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Many small files per volume: every CP freezes and records dozens of
+	// inodes, so the per-volume CP phases carry real work.
+	const filesPerVol = 32
+	inos := make([][]uint64, cfg.Volumes)
+	for v := range inos {
+		inos[v] = make([]uint64, filesPerVol)
+		for f := range inos[v] {
+			inos[v][f] = sys.CreateFileDirect(v, 256)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		vol := i % cfg.Volumes
+		id := i
+		sys.ClientThread("w", func(c *ClientCtx) {
+			j := 0
+			for c.Alive() {
+				f := (j + id*7) % filesPerVol
+				c.Write(vol, inos[vol][f], FBN((j*3)%250), 1)
+				j++
+			}
+		})
+	}
+	res := sys.Measure(50*Millisecond, 200*Millisecond)
+	st := sys.CPStats()
+	sys.Shutdown()
+	return res, st
+}
+
+// TestParallelCPReducesStallTime is the headline regression test for
+// parallel consistency points: under NVRAM pressure the CP is the
+// bottleneck, so fanning per-volume CP phases across Volume affinities must
+// strictly shrink both the mean CP duration and the client-visible NVRAM
+// stall time relative to the serial engine on the same seed.
+func TestParallelCPReducesStallTime(t *testing.T) {
+	serial, sst := runOverloadedCP(t, false)
+	par, pst := runOverloadedCP(t, true)
+	if serial.Stalls == 0 || serial.StallTime == 0 {
+		t.Fatalf("workload must overload the serial engine: %s", serial)
+	}
+	if sst.CPs == 0 || pst.CPs == 0 {
+		t.Fatalf("no CPs measured: serial=%d parallel=%d", sst.CPs, pst.CPs)
+	}
+	sAvg := sst.TotalDuration / Duration(sst.CPs)
+	pAvg := pst.TotalDuration / Duration(pst.CPs)
+	t.Logf("serial:   %s cpAvg=%v back2back=%d", serial, sAvg, sst.BackToBack)
+	t.Logf("parallel: %s cpAvg=%v back2back=%d", par, pAvg, pst.BackToBack)
+	if pAvg >= sAvg {
+		t.Fatalf("parallel CP not faster: avg %v vs serial %v", pAvg, sAvg)
+	}
+	if par.StallTime >= serial.StallTime {
+		t.Fatalf("parallel CP did not reduce client stall time: %v vs serial %v",
+			par.StallTime, serial.StallTime)
+	}
+}
+
+// runDeterminismProbe runs a fixed parallel-CP workload (writes, snapshot
+// create/delete, file churn on both volumes) to quiescence and returns the
+// run's full fingerprint: total scheduler event count, the buffered trace
+// event stream, and the committed superblock bytes.
+func runDeterminismProbe(t *testing.T) (uint64, []Event, []byte) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Trace = true
+	cfg.NVRAMHalfBytes = 512 << 10
+	cfg.Allocator.ParallelCP = true
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inos := make([]uint64, cfg.Volumes)
+	for v := range inos {
+		inos[v] = sys.CreateFileDirect(v, 1<<14)
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		vol := i % cfg.Volumes
+		id := i
+		sys.ClientThread("w", func(c *ClientCtx) {
+			var snap uint64
+			for j := 0; j < 150; j++ {
+				c.Write(vol, inos[vol], FBN((j*8+id*997)%12000), 8)
+				if id == 0 && j == 40 {
+					snap = c.SnapCreate(vol)
+				}
+				if id == 0 && j == 120 && snap != 0 {
+					c.SnapDelete(vol, snap)
+				}
+			}
+		})
+	}
+	sys.Run(5 * Second)
+	if err := sys.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+	events := sys.Events()
+	trace := sys.Tracer().Events()
+	sb := sys.SuperblockBytes()
+	sys.Shutdown()
+	return events, trace, sb
+}
+
+// TestParallelCPDeterminism proves the parallel engine keeps the simulator's
+// determinism contract: two runs with identical seeds produce bit-identical
+// schedules (event counts), bit-identical trace streams, and bit-identical
+// committed superblocks.
+func TestParallelCPDeterminism(t *testing.T) {
+	ev1, tr1, sb1 := runDeterminismProbe(t)
+	ev2, tr2, sb2 := runDeterminismProbe(t)
+	if ev1 != ev2 {
+		t.Fatalf("event counts diverge: %d vs %d", ev1, ev2)
+	}
+	if len(tr1) != len(tr2) {
+		t.Fatalf("trace lengths diverge: %d vs %d", len(tr1), len(tr2))
+	}
+	if !reflect.DeepEqual(tr1, tr2) {
+		for i := range tr1 {
+			if tr1[i] != tr2[i] {
+				t.Fatalf("trace diverges at event %d: %+v vs %+v", i, tr1[i], tr2[i])
+			}
+		}
+	}
+	if !bytes.Equal(sb1, sb2) {
+		t.Fatal("committed superblocks diverge across identical runs")
+	}
+}
+
+// TestSnapReclaimVolFreeCounterHonest exercises the snapshot lifecycle
+// (write, snap, overwrite, delete snap) and checks the volume free-space
+// counter against the ground-truth bitmap scan at every quiescent point:
+// reclaiming a snapshot must credit the freed VVBNs back to the counter.
+func TestSnapReclaimVolFreeCounterHonest(t *testing.T) {
+	sys, err := NewSystem(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ino := sys.CreateFileDirect(0, 1<<14)
+	check := func(label string) {
+		t.Helper()
+		if err := sys.Quiesce(); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		fs := sys.FreeSpaceBreakdown(0)
+		if got := sys.VolFreeBlocks(0); got != int64(fs.Free) {
+			t.Fatalf("%s: vol free counter %d, bitmap says %d free", label, got, fs.Free)
+		}
+		sys.stopped = false // rearm after Quiesce for the next phase
+	}
+
+	var snap uint64
+	sys.ClientThread("base", func(c *ClientCtx) {
+		for fbn := FBN(0); fbn < 128; fbn++ {
+			c.WriteTag(0, ino, fbn, 1, 'A')
+		}
+		snap = c.SnapCreate(0)
+	})
+	sys.Run(2 * Second)
+	check("after snapshot create")
+	if snap == 0 {
+		t.Fatal("snapshot not created")
+	}
+
+	sys.ClientThread("churn", func(c *ClientCtx) {
+		for fbn := FBN(0); fbn < 128; fbn++ {
+			c.WriteTag(0, ino, fbn, 1, 'B')
+		}
+	})
+	sys.Run(2 * Second)
+	check("after overwrite under snapshot")
+
+	var deleted bool
+	sys.ClientThread("reaper", func(c *ClientCtx) {
+		deleted = c.SnapDelete(0, snap)
+	})
+	sys.Run(2 * Second)
+	check("after snapshot delete")
+	if !deleted {
+		t.Fatal("snapshot delete failed")
+	}
+	if fs := sys.FreeSpaceBreakdown(0); fs.SnapOnly != 0 {
+		t.Fatalf("snap-held blocks remain after reclaim: %d", fs.SnapOnly)
+	}
+}

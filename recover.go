@@ -53,7 +53,7 @@ func (sys *System) Recover() (*System, error) {
 	in := core.NewInfra(w, h, a, cfg.Allocator, cfg.Costs)
 	pool := core.NewPool(in, cfg.Allocator, cfg.Costs)
 	log := nvlog.New(cfg.NVRAMHalfBytes)
-	engine := cp.New(w, h, a, in, pool, log, cfg.Costs)
+	engine := cp.New(w, h, a, in, pool, log, cfg.Allocator, cfg.Costs)
 	ns := &System{cfg: cfg, s: sys.s, w: w, h: h, a: a, in: in, pool: pool, engine: engine, log: log, threadMark: mark}
 	if cfg.Allocator.Dynamic {
 		ns.tuner = core.StartTuner(pool, cfg.Tuner)

@@ -62,6 +62,9 @@ type (
 	// Tracer is the observability spine: trace events, latency histograms,
 	// and Chrome-trace export. Nil when tracing is off.
 	Tracer = obs.Tracer
+	// Event is one buffered trace event; determinism tests compare whole
+	// streams of these across runs.
+	Event = obs.Event
 	// TraceHistogram is one latency histogram recorded by the tracer.
 	TraceHistogram = obs.Histogram
 	// FaultConfig selects the deterministic drive-fault plan (torn writes,
@@ -255,7 +258,7 @@ func NewSystem(cfg Config) (*System, error) {
 	in := core.NewInfra(w, h, a, cfg.Allocator, cfg.Costs)
 	pool := core.NewPool(in, cfg.Allocator, cfg.Costs)
 	log := nvlog.New(cfg.NVRAMHalfBytes)
-	engine := cp.New(w, h, a, in, pool, log, cfg.Costs)
+	engine := cp.New(w, h, a, in, pool, log, cfg.Allocator, cfg.Costs)
 	sys := &System{cfg: cfg, s: s, w: w, h: h, a: a, in: in, pool: pool, engine: engine, log: log, threadMark: threadMark}
 	if cfg.Allocator.Dynamic {
 		sys.tuner = core.StartTuner(pool, cfg.Tuner)
@@ -475,6 +478,27 @@ type InfraCounters = core.InfraStats
 // Counters returns a snapshot of the infrastructure counters for metric
 // diffing around a measurement window (FillWords, GetWaits, ...).
 func (sys *System) Counters() InfraCounters { return sys.in.Stats() }
+
+// CPStats is the consistency-point engine's cumulative counter set.
+type CPStats = cp.Stats
+
+// CPStats returns a snapshot of the CP engine counters for metric diffing
+// around a measurement window (TotalDuration, BackToBack, ...).
+func (sys *System) CPStats() CPStats { return sys.engine.Stats() }
+
+// CPPhaseReport renders the per-phase CP duration breakdown (p50/p99 per
+// phase) from the engine's always-on histograms.
+func (sys *System) CPPhaseReport() string { return sys.engine.PhaseReport() }
+
+// VolFreeBlocks returns the loosely-accounted allocatable-VVBN counter of
+// one volume (free = !active && !summary). After a Quiesce it matches
+// FreeSpaceBreakdown(vol).Free exactly.
+func (sys *System) VolFreeBlocks(vol int) int64 { return sys.in.VolFree(vol) }
+
+// SuperblockBytes returns the encoded current superblock — the exact bytes
+// the last commit persisted. Determinism tests compare it across runs as a
+// compact digest of the committed tree.
+func (sys *System) SuperblockBytes() []byte { return sys.a.SuperblockBytes() }
 
 // Flush drives consistency points until all dirty state is persisted,
 // without stopping client threads.

@@ -92,6 +92,46 @@ func (w RandWrite) Attach(sys *wafl.System) {
 	}
 }
 
+// ManyFile models a metadata-heavy home-directory workload: each client
+// spreads small writes across its own set of small files, so every CP
+// freezes and records hundreds of inodes. This is the workload class whose
+// CP cost is dominated by the per-volume metadata phases (inode freeze,
+// record writes) rather than by buffer cleaning — the phases the parallel
+// CP engine fans out across Volume affinities.
+type ManyFile struct {
+	Clients    int
+	FilesPer   int // files per client
+	OpBlocks   int
+	FileBlocks uint64
+	Volumes    int
+}
+
+// DefaultManyFile gives every CP a few hundred dirty inodes per volume.
+func DefaultManyFile() ManyFile {
+	return ManyFile{Clients: 56, FilesPer: 16, OpBlocks: 1, FileBlocks: 64, Volumes: 4}
+}
+
+// Attach creates the per-client file sets and spawns the client threads.
+func (w ManyFile) Attach(sys *wafl.System) {
+	for i := 0; i < w.Clients; i++ {
+		vol := i % w.Volumes
+		inos := make([]uint64, w.FilesPer)
+		for f := range inos {
+			inos[f] = sys.CreateFileDirect(vol, w.FileBlocks)
+		}
+		i := i
+		sys.ClientThread(fmt.Sprintf("manyfile-client-%d", i), func(c *wafl.ClientCtx) {
+			j := 0
+			for c.Alive() {
+				ino := inos[j%w.FilesPer]
+				fbn := wafl.FBN(c.Rand(int64(w.FileBlocks) - int64(w.OpBlocks) + 1))
+				c.Write(vol, ino, fbn, w.OpBlocks)
+				j++
+			}
+		})
+	}
+}
+
 // OLTP models the internal OLTP benchmark of §V-B: latency-sensitive FC
 // clients issuing small random writes and reads against a database-like
 // working set, with client-side think time so the system can run below
