@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race racecp bench crashcheck ci clean
+.PHONY: all build test vet race racecp bench crashcheck affcheck clustercheck ci clean
 
 all: build
 
@@ -25,6 +25,7 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/waflbench -exp agedvol -benchjson BENCH_PR4.json
 	$(GO) run ./cmd/waflbench -exp parallelcp -benchjson BENCH_PR5.json
+	$(GO) run ./cmd/waflbench -exp flexgroup -members 4 -benchjson BENCH_PR6.json
 
 # crashcheck runs the bounded crash-schedule fault-injection sweep: crash at
 # dozens of reproducible points (event indices + CP phase boundaries),
@@ -32,9 +33,30 @@ bench:
 crashcheck:
 	$(GO) run ./cmd/waflbench -crashsweep -crashpoints 8 -crashseeds 1,2 -crashphases 9
 
-# ci is the gate run before merging: vet, build, the full test suite under
-# the race detector, and the bounded crash sweep.
-ci: vet build race racecp crashcheck
+# affcheck enforces the single-point member resolution rule: among the
+# facade sources, only member.go may index the Waffinity hierarchy's
+# aggregate array directly — everything else routes through the Member
+# helpers (volAffs/stripeAff/logicalAff).
+affcheck:
+	@bad=$$(grep -ln 'Aggrs\[' *.go | grep -v '^member\.go$$' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "affcheck: direct h.Aggrs[...] access outside member.go:"; \
+		grep -n 'Aggrs\[' $$bad; \
+		exit 1; \
+	fi; \
+	echo "affcheck OK: Aggrs[] indexed only in member.go"
+
+# clustercheck runs the bounded multi-member crash sweep: one member of a
+# two-member cluster is crashed at reproducible event indices while the
+# survivor serves traffic, then recovered in place (plus an immediate double
+# crash), with per-member fsck and oracle verification.
+clustercheck:
+	$(GO) run ./cmd/waflbench -clustersweep -crashpoints 6 -crashseeds 1,2
+
+# ci is the gate run before merging: vet, build, the affinity-access gate,
+# the full test suite under the race detector, and the bounded crash sweeps
+# (whole-node and single-member).
+ci: vet build affcheck race racecp crashcheck clustercheck
 
 clean:
 	rm -f wafltop waflbench *.test

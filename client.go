@@ -7,16 +7,22 @@ import (
 	"wafl/internal/nvlog"
 	"wafl/internal/obs"
 	"wafl/internal/sim"
-	"wafl/internal/waffinity"
 )
 
 // ClientCtx is a closed-loop client session: a simulated thread issuing
 // operations against the system, one at a time, measuring per-op latency.
-// Workload generators receive a ClientCtx and drive it.
+// Workload generators receive a ClientCtx and drive it. Operations address
+// volumes by global index; the owning member is resolved per op (from the
+// file handle's embedded constituent id when present, else the volume).
 type ClientCtx struct {
 	sys *System
 	t   *sim.Thread
 	id  int
+
+	// threadIdx is the client thread's scheduler index, recorded so a
+	// member crash can take down the clients pinned to it
+	// (CrashMember(i, clients...)).
+	threadIdx int
 
 	// per-client statistics
 	Ops     uint64
@@ -27,7 +33,7 @@ type ClientCtx struct {
 // ClientThread spawns a closed-loop client running fn. Call before Run /
 // Measure.
 func (sys *System) ClientThread(name string, fn func(*ClientCtx)) *ClientCtx {
-	c := &ClientCtx{sys: sys, id: len(sys.clients)}
+	c := &ClientCtx{sys: sys, id: len(sys.clients), threadIdx: sys.s.ThreadMark()}
 	sys.clients = append(sys.clients, c)
 	sys.s.Go(name, sim.CatClient, func(t *sim.Thread) {
 		c.t = t
@@ -51,15 +57,9 @@ func (c *ClientCtx) Rand(n int64) int64 {
 	return c.sys.s.Rand().Int63n(n)
 }
 
-// stripeAff maps (volume, fbn) to the stripe affinity owning that file
-// region.
-func (sys *System) stripeAff(vol int, fbn FBN) *waffinity.Affinity {
-	stripes := sys.h.Aggrs[0].Volumes[vol].Stripes
-	idx := int(uint64(fbn)/sys.cfg.StripeWidthBlocks) % len(stripes)
-	return stripes[idx]
-}
-
-// payload builds the pattern content for a block write.
+// payload builds the pattern content for a block write. The pattern is
+// derived from the file handle as the client holds it (member tag
+// included), so content checks work with the handle alone.
 func (sys *System) payload(ino uint64, fbn FBN, tag byte) []byte {
 	n := sys.cfg.PayloadBytes
 	if n <= 0 {
@@ -75,27 +75,26 @@ func (sys *System) payload(ino uint64, fbn FBN, tag byte) []byte {
 	return p
 }
 
-// reserveLog reserves NVRAM space for an op's records, stalling the client
-// (and requesting CPs) until space frees up. Returns the op's reservation
-// and the stall time.
-func (c *ClientCtx) reserveLog(bytes uint64) (*nvlog.Reservation, Duration) {
-	sys := c.sys
+// reserveLog reserves NVRAM space on member m for an op's records, stalling
+// the client (and requesting CPs) until space frees up. Returns the op's
+// reservation and the stall time.
+func (c *ClientCtx) reserveLog(m *Member, bytes uint64) (*nvlog.Reservation, Duration) {
 	var stalled Duration
-	res, ok := sys.log.Reserve(bytes)
+	res, ok := m.log.Reserve(bytes)
 	for !ok {
 		// Back-to-back CP: both halves occupied. Wait for the running CP.
 		start := c.t.Now()
 		c.Stalled++
-		sys.stalls++
-		sys.engine.RequestCP()
-		sys.engine.WaitCPDone(c.t)
+		m.stalls++
+		m.engine.RequestCP()
+		m.engine.WaitCPDone(c.t)
 		stalled += Duration(c.t.Now() - start)
 		if tr := c.t.Tracer(); tr != nil {
 			tr.Span(obs.PidThreads, c.t.TrackID(), "client", "nvram stall",
 				int64(start), int64(c.t.Now()))
 			tr.Observe("client.stall", int64(c.t.Now()-start))
 		}
-		res, ok = sys.log.Reserve(bytes)
+		res, ok = m.log.Reserve(bytes)
 	}
 	return res, stalled
 }
@@ -116,6 +115,7 @@ func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 // over it.
 func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte) Duration {
 	sys := c.sys
+	m, lv, li := sys.resolve(vol, ino)
 	start := c.t.Now()
 	c.t.Consume(sys.cfg.Costs.ClientOp)
 	blocks := make([][]byte, nblocks)
@@ -128,19 +128,19 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 	// the records themselves are appended inside the stripe messages,
 	// immediately adjacent to dirtying each buffer, so a record and its
 	// dirty state always land in the same CP generation.
-	res, stalled := c.reserveLog(recBytes)
+	res, stalled := c.reserveLog(m, recBytes)
 	// Group contiguous blocks by owning stripe affinity: one message each.
-	v := sys.a.Volume(vol)
+	v := m.a.Volume(lv)
 	for lo := 0; lo < nblocks; {
-		aff := sys.stripeAff(vol, fbn+FBN(lo))
+		aff := m.stripeAff(lv, fbn+FBN(lo))
 		hi := lo + 1
-		for hi < nblocks && sys.stripeAff(vol, fbn+FBN(hi)) == aff {
+		for hi < nblocks && m.stripeAff(lv, fbn+FBN(hi)) == aff {
 			hi++
 		}
 		lo0, hi0 := lo, hi
-		sys.w.Call(c.t, aff, sim.CatClient, func(wt *sim.Thread) {
+		m.call(c.t, aff, sim.CatClient, func(wt *sim.Thread) {
 			wt.Consume(sim.Duration(hi0-lo0) * sys.cfg.Costs.ClientPerBlock)
-			f := v.LookupFile(ino)
+			f := v.LookupFile(li)
 			if f == nil {
 				panic(fmt.Sprintf("wafl: write to nonexistent ino %d", ino))
 			}
@@ -150,9 +150,10 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 				// the old block instead of leaking it.
 				v.EnsureL0Resident(f, fbn+FBN(b))
 				// Log + dirty with no simulation primitive in between:
-				// atomic with respect to CP freezes.
+				// atomic with respect to CP freezes. Records carry
+				// member-local coordinates.
 				res.Append(nvlog.Record{
-					Kind: nvlog.OpWrite, Vol: uint32(vol), Ino: ino,
+					Kind: nvlog.OpWrite, Vol: uint32(lv), Ino: li,
 					FBN: fbn + FBN(b), Data: blocks[b], LogicalBytes: block.Size,
 				})
 				f.WriteBlock(fbn+FBN(b), blocks[b])
@@ -162,8 +163,8 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 		lo = hi
 	}
 	res.Release()
-	if !sys.log.HasFrozen() {
-		sys.maybeTriggerCP()
+	if !m.log.HasFrozen() {
+		m.maybeTriggerCP()
 	}
 	lat := Duration(c.t.Now() - start)
 	if tr := c.t.Tracer(); tr != nil {
@@ -173,10 +174,10 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 	}
 	c.Ops++
 	c.Blocks += uint64(nblocks)
-	sys.opsDone++
-	sys.blocksW += uint64(nblocks)
-	sys.stallTime += stalled
-	sys.latencies = append(sys.latencies, lat)
+	m.opsDone++
+	m.blocksW += uint64(nblocks)
+	m.stallTime += stalled
+	m.lat.Observe(int64(lat))
 	return lat
 }
 
@@ -184,13 +185,14 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 // missing blocks from the drives with timed I/O.
 func (c *ClientCtx) Read(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 	sys := c.sys
+	m, lv, li := sys.resolve(vol, ino)
 	start := c.t.Now()
-	v := sys.a.Volume(vol)
+	v := m.a.Volume(lv)
 	for b := 0; b < nblocks; b++ {
 		fbn := fbn + FBN(b)
-		sys.w.Call(c.t, sys.stripeAff(vol, fbn), sim.CatClient, func(wt *sim.Thread) {
+		m.call(c.t, m.stripeAff(lv, fbn), sim.CatClient, func(wt *sim.Thread) {
 			wt.Consume(sys.cfg.Costs.ClientPerBlock)
-			f := v.LookupFile(ino)
+			f := v.LookupFile(li)
 			if f == nil {
 				return
 			}
@@ -205,42 +207,53 @@ func (c *ClientCtx) Read(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 		tr.Observe("client.read", int64(lat))
 	}
 	c.Ops++
-	sys.opsDone++
-	sys.blocksR += uint64(nblocks)
-	sys.latencies = append(sys.latencies, lat)
+	m.opsDone++
+	m.blocksR += uint64(nblocks)
+	m.lat.Observe(int64(lat))
 	return lat
 }
 
-// Create makes a new file on the volume and returns its inode number. The
-// create executes first (assigning the inode) and is then logged to NVRAM
-// with that inode number, so replay is exact; the client is not
-// acknowledged until the record is logged.
+// Create makes a new file on the (globally addressed) volume and returns
+// its handle: the member-local inode number with the owning constituent id
+// in the top bits (bare inode on member 0). The create executes first
+// (assigning the inode) and is then logged to NVRAM with that inode
+// number, so replay is exact; the client is not acknowledged until the
+// record is logged.
 func (c *ClientCtx) Create(vol int, maxBlocks uint64) uint64 {
 	sys := c.sys
+	m, lv := sys.volMember(vol)
 	start := c.t.Now()
 	var ino uint64
-	v := sys.a.Volume(vol)
+	v := m.a.Volume(lv)
 	// Creates operate outside any single stripe: Volume Logical affinity.
-	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp)
 		f := v.CreateFile(maxBlocks)
 		ino = f.Ino()
 	})
-	rec := nvlog.Record{Kind: nvlog.OpCreate, Vol: uint32(vol), Ino: ino, MaxBlocks: maxBlocks}
-	for !sys.log.Append(rec) {
+	rec := nvlog.Record{Kind: nvlog.OpCreate, Vol: uint32(lv), Ino: ino, MaxBlocks: maxBlocks}
+	for !m.log.Append(rec) {
 		c.Stalled++
-		sys.stalls++
-		sys.engine.RequestCP()
-		sys.engine.WaitCPDone(c.t)
+		m.stalls++
+		m.engine.RequestCP()
+		m.engine.WaitCPDone(c.t)
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp)
 	c.Ops++
-	sys.opsDone++
-	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
-	if !sys.log.HasFrozen() {
-		sys.maybeTriggerCP()
+	m.opsDone++
+	m.lat.Observe(int64(c.t.Now() - start))
+	if !m.log.HasFrozen() {
+		m.maybeTriggerCP()
 	}
-	return ino
+	return memberHandle(m.id, ino)
+}
+
+// CreatePlaced creates a new file on the member the placement policy
+// picks (capacity- and load-aware; see System.PlaceFile) and returns the
+// chosen global volume along with the file handle.
+func (c *ClientCtx) CreatePlaced(maxBlocks uint64) (vol int, ino uint64) {
+	vol = c.sys.PlaceFile(maxBlocks)
+	return vol, c.Create(vol, maxBlocks)
 }
 
 // Delete removes a file. The namespace change is immediate; the file's
@@ -248,29 +261,30 @@ func (c *ClientCtx) Create(vol int, maxBlocks uint64) uint64 {
 // Returns false if the inode does not exist.
 func (c *ClientCtx) Delete(vol int, ino uint64) bool {
 	sys := c.sys
+	m, lv, li := sys.resolve(vol, ino)
 	start := c.t.Now()
 	var ok bool
-	v := sys.a.Volume(vol)
-	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+	v := m.a.Volume(lv)
+	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp / 2)
-		ok = v.DeleteFile(ino)
+		ok = v.DeleteFile(li)
 	})
 	if ok {
-		rec := nvlog.Record{Kind: nvlog.OpDelete, Vol: uint32(vol), Ino: ino}
-		for !sys.log.Append(rec) {
+		rec := nvlog.Record{Kind: nvlog.OpDelete, Vol: uint32(lv), Ino: li}
+		for !m.log.Append(rec) {
 			c.Stalled++
-			sys.stalls++
-			sys.engine.RequestCP()
-			sys.engine.WaitCPDone(c.t)
+			m.stalls++
+			m.engine.RequestCP()
+			m.engine.WaitCPDone(c.t)
 		}
-		if !sys.log.HasFrozen() {
-			sys.maybeTriggerCP()
+		if !m.log.HasFrozen() {
+			m.maybeTriggerCP()
 		}
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
 	c.Ops++
-	sys.opsDone++
-	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	m.opsDone++
+	m.lat.Observe(int64(c.t.Now() - start))
 	return ok
 }
 
@@ -278,16 +292,17 @@ func (c *ClientCtx) Delete(vol int, ino uint64) bool {
 // logical affinity.
 func (c *ClientCtx) Getattr(vol int, ino uint64) Duration {
 	sys := c.sys
+	m, lv, li := sys.resolve(vol, ino)
 	start := c.t.Now()
-	v := sys.a.Volume(vol)
-	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+	v := m.a.Volume(lv)
+	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp / 2)
-		v.LookupFile(ino)
+		v.LookupFile(li)
 	})
 	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
 	c.Ops++
-	sys.opsDone++
-	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	m.opsDone++
+	m.lat.Observe(int64(c.t.Now() - start))
 	return Duration(c.t.Now() - start)
 }
 
@@ -298,25 +313,26 @@ func (c *ClientCtx) Getattr(vol int, ino uint64) Duration {
 // always survives a crash.
 func (c *ClientCtx) SnapCreate(vol int) uint64 {
 	sys := c.sys
+	m, lv := sys.volMember(vol)
 	start := c.t.Now()
 	var id uint64
-	v := sys.a.Volume(vol)
-	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+	v := m.a.Volume(lv)
+	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp)
 		id = v.RequestSnapshot()
 	})
-	rec := nvlog.Record{Kind: nvlog.OpSnapCreate, Vol: uint32(vol), Ino: id}
-	for !sys.log.Append(rec) {
+	rec := nvlog.Record{Kind: nvlog.OpSnapCreate, Vol: uint32(lv), Ino: id}
+	for !m.log.Append(rec) {
 		c.Stalled++
-		sys.stalls++
-		sys.engine.RequestCP()
-		sys.engine.WaitCPDone(c.t)
+		m.stalls++
+		m.engine.RequestCP()
+		m.engine.WaitCPDone(c.t)
 	}
-	sys.engine.RequestCP()
+	m.engine.RequestCP()
 	for !v.SnapshotExists(id) {
-		sys.engine.WaitCPDone(c.t)
+		m.engine.WaitCPDone(c.t)
 		if !v.SnapshotExists(id) {
-			sys.engine.RequestCP()
+			m.engine.RequestCP()
 		}
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp)
@@ -326,8 +342,8 @@ func (c *ClientCtx) SnapCreate(vol int) uint64 {
 			int64(start), int64(c.t.Now()), int64(id))
 	}
 	c.Ops++
-	sys.opsDone++
-	sys.latencies = append(sys.latencies, lat)
+	m.opsDone++
+	m.lat.Observe(int64(lat))
 	return id
 }
 
@@ -337,29 +353,30 @@ func (c *ClientCtx) SnapCreate(vol int) uint64 {
 // snapshot does not exist.
 func (c *ClientCtx) SnapDelete(vol int, id uint64) bool {
 	sys := c.sys
+	m, lv := sys.volMember(vol)
 	start := c.t.Now()
 	var ok bool
-	v := sys.a.Volume(vol)
-	sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+	v := m.a.Volume(lv)
+	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp / 2)
 		ok = v.DeleteSnapshot(id)
 	})
 	if ok {
-		rec := nvlog.Record{Kind: nvlog.OpSnapDelete, Vol: uint32(vol), Ino: id}
-		for !sys.log.Append(rec) {
+		rec := nvlog.Record{Kind: nvlog.OpSnapDelete, Vol: uint32(lv), Ino: id}
+		for !m.log.Append(rec) {
 			c.Stalled++
-			sys.stalls++
-			sys.engine.RequestCP()
-			sys.engine.WaitCPDone(c.t)
+			m.stalls++
+			m.engine.RequestCP()
+			m.engine.WaitCPDone(c.t)
 		}
-		if !sys.log.HasFrozen() {
-			sys.maybeTriggerCP()
+		if !m.log.HasFrozen() {
+			m.maybeTriggerCP()
 		}
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
 	c.Ops++
-	sys.opsDone++
-	sys.latencies = append(sys.latencies, Duration(c.t.Now()-start))
+	m.opsDone++
+	m.lat.Observe(int64(c.t.Now() - start))
 	return ok
 }
 
@@ -368,14 +385,15 @@ func (c *ClientCtx) SnapDelete(vol int, id uint64) bool {
 // Returns false if the snapshot, or the inode within it, does not exist.
 func (c *ClientCtx) SnapRead(vol int, snapID, ino uint64, fbn FBN, nblocks int) (Duration, bool) {
 	sys := c.sys
+	m, lv, li := sys.resolve(vol, ino)
 	start := c.t.Now()
 	ok := true
-	v := sys.a.Volume(vol)
+	v := m.a.Volume(lv)
 	for b := 0; b < nblocks; b++ {
 		fbn := fbn + FBN(b)
-		sys.w.Call(c.t, sys.h.Aggrs[0].Volumes[vol].Logical, sim.CatClient, func(wt *sim.Thread) {
+		m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
 			wt.Consume(sys.cfg.Costs.ClientPerBlock)
-			if _, found := v.SnapReadBlock(wt, snapID, ino, fbn); !found {
+			if _, found := v.SnapReadBlock(wt, snapID, li, fbn); !found {
 				ok = false
 			}
 		})
@@ -387,26 +405,29 @@ func (c *ClientCtx) SnapRead(vol int, snapID, ino uint64, fbn FBN, nblocks int) 
 			int64(start), int64(c.t.Now()), int64(nblocks))
 	}
 	c.Ops++
-	sys.opsDone++
-	sys.blocksR += uint64(nblocks)
-	sys.latencies = append(sys.latencies, lat)
+	m.opsDone++
+	m.blocksR += uint64(nblocks)
+	m.lat.Observe(int64(lat))
 	return lat, ok
 }
 
 // VerifyRead returns the committed-or-cached content of a block without
 // timing effects (nil for holes) — the test/validation path.
 func (sys *System) VerifyRead(vol int, ino uint64, fbn FBN) []byte {
-	v := sys.a.Volume(vol)
-	f := v.LookupFile(ino)
+	m, lv, li := sys.resolve(vol, ino)
+	v := m.a.Volume(lv)
+	f := v.LookupFile(li)
 	if f == nil {
 		return nil
 	}
 	return v.ReadFileBlock(nil, f, fbn)
 }
 
-// CreateFileDirect makes a file without logging or timing (test setup).
+// CreateFileDirect makes a file without logging or timing (test setup) and
+// returns its handle (member-tagged; bare inode on member 0).
 func (sys *System) CreateFileDirect(vol int, maxBlocks uint64) uint64 {
-	return sys.a.Volume(vol).CreateFile(maxBlocks).Ino()
+	m, lv := sys.volMember(vol)
+	return memberHandle(m.id, m.a.Volume(lv).CreateFile(maxBlocks).Ino())
 }
 
 // SnapVerifyRead returns block fbn of inode ino from a snapshot's frozen
@@ -414,17 +435,20 @@ func (sys *System) CreateFileDirect(vol int, maxBlocks uint64) uint64 {
 // false if the snapshot or the inode does not exist in it; a nil slice with
 // true means a hole in the frozen image.
 func (sys *System) SnapVerifyRead(vol int, snapID, ino uint64, fbn FBN) ([]byte, bool) {
-	return sys.a.Volume(vol).SnapReadBlock(nil, snapID, ino, fbn)
+	m, lv, li := sys.resolve(vol, ino)
+	return m.a.Volume(lv).SnapReadBlock(nil, snapID, li, fbn)
 }
 
 // SnapshotExists reports whether the volume has a materialized snapshot id.
 func (sys *System) SnapshotExists(vol int, id uint64) bool {
-	return sys.a.Volume(vol).SnapshotExists(id)
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).SnapshotExists(id)
 }
 
 // SnapshotIDs returns the volume's materialized snapshot IDs, ascending.
 func (sys *System) SnapshotIDs(vol int) []uint64 {
-	return sys.a.Volume(vol).SnapshotIDs()
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).SnapshotIDs()
 }
 
 // FreeSpace is a per-volume free-space breakdown over the VVBN space:
@@ -441,7 +465,8 @@ type FreeSpace struct {
 // FreeSpaceBreakdown computes the volume's active / snap-held / free block
 // counts from the live activemap and snapshot summary map.
 func (sys *System) FreeSpaceBreakdown(vol int) FreeSpace {
-	v := sys.a.Volume(vol)
+	m, lv := sys.volMember(vol)
+	v := m.a.Volume(lv)
 	total := v.VVBNBlocks()
 	free, _ := v.Activemap.CountFreeNotIn(v.Summary, 0, total)
 	active := v.Activemap.Used()

@@ -10,7 +10,9 @@
 //	waflbench -window 400ms   # measurement window
 //	waflbench -exp fig4 -trace fig4   # dump fig4-NNN.json Perfetto timelines
 //	waflbench -crashsweep     # crash-schedule fault-injection sweep (§II-C)
+//	waflbench -clustersweep   # independent member-crash sweep on a cluster
 //	waflbench -exp agedvol -benchjson BENCH.json   # machine-readable results
+//	waflbench -exp flexgroup -members 4 -benchjson BENCH.json  # cluster scaling
 package main
 
 import (
@@ -26,21 +28,27 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol parallelcp all")
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol parallelcp flexgroup all")
 	benchjson := flag.String("benchjson", "", "write machine-readable results (ops/sec, fill words, walloc cores, get waits) to this JSON file")
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
 	cleaners := flag.Int("cleaners", 4, "parallel cleaner-thread count for the permutation experiments")
+	members := flag.Int("members", 1, "cluster width: flexgroup sweeps 1..members (doubling); other experiments run at this width")
 	trace := flag.String("trace", "", "dump one Chrome trace JSON per measurement as <prefix>-NNN.json")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
 	crashsweep := flag.Bool("crashsweep", false, "run the crash-schedule fault-injection sweep instead of the figures")
 	crashPoints := flag.Int("crashpoints", 8, "crashsweep: event-index crash points per seed")
 	crashSeeds := flag.String("crashseeds", "1,2", "crashsweep: comma-separated workload seeds")
 	crashPhases := flag.Int("crashphases", 9, "crashsweep: CP phase-boundary crash points (0 = off)")
+	clustersweep := flag.Bool("clustersweep", false, "run the independent member-crash sweep instead of the figures")
 	flag.Parse()
 
 	if *crashsweep {
 		runCrashSweep(*crashPoints, *crashSeeds, *crashPhases)
+		return
+	}
+	if *clustersweep {
+		runClusterSweep(*members, *crashPoints, *crashSeeds)
 		return
 	}
 
@@ -51,6 +59,9 @@ func main() {
 	rc := harness.DefaultRun()
 	rc.Window = wafl.Duration(window.Nanoseconds())
 	rc.Warmup = wafl.Duration(warmup.Nanoseconds())
+	if *members > 1 {
+		rc.Base.Members = *members
+	}
 
 	var benchResults []harness.BenchResult
 
@@ -119,6 +130,20 @@ func main() {
 		benchResults = append(benchResults, res...)
 		return t, err
 	})
+	run("flexgroup", func() (harness.Table, error) {
+		fc := harness.DefaultFlexgroup()
+		fc.Base = harness.DefaultRun().Base // widths come from the sweep, not -members
+		fc.MemberCounts = nil
+		for n := 1; n <= *members; n *= 2 {
+			fc.MemberCounts = append(fc.MemberCounts, n)
+		}
+		if len(fc.MemberCounts) < 2 {
+			fc.MemberCounts = []int{1, 2, 4}
+		}
+		t, _, res, err := harness.Flexgroup(fc)
+		benchResults = append(benchResults, res...)
+		return t, err
+	})
 
 	if *benchjson != "" {
 		if len(benchResults) == 0 {
@@ -164,6 +189,44 @@ func runCrashSweep(points int, seeds string, phases int) {
 	}
 	fmt.Println(tab.String())
 	fmt.Printf("(crashsweep took %.1fs host time)\n", time.Since(start).Seconds())
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+// runClusterSweep executes the independent member-crash sweep and exits
+// nonzero if any crash point fails verification.
+func runClusterSweep(members, points int, seeds string) {
+	cfg := harness.DefaultClusterSweep()
+	if members > 1 {
+		cfg.Base.Members = members
+	}
+	cfg.Points = points
+	cfg.Seeds = nil
+	for _, s := range strings.Split(seeds, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var seed int64
+		if _, err := fmt.Sscanf(s, "%d", &seed); err != nil {
+			fmt.Fprintf(os.Stderr, "clustersweep: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		cfg.Seeds = append(cfg.Seeds, seed)
+	}
+	if len(cfg.Seeds) == 0 {
+		fmt.Fprintln(os.Stderr, "clustersweep: no seeds")
+		os.Exit(2)
+	}
+	start := time.Now()
+	tab, res, err := harness.ClusterSweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clustersweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab.String())
+	fmt.Printf("(clustersweep took %.1fs host time)\n", time.Since(start).Seconds())
 	if !res.OK() {
 		os.Exit(1)
 	}

@@ -27,6 +27,7 @@ func main() {
 	runFor := flag.Duration("run", 200*time.Millisecond, "simulated run length")
 	wl := flag.String("workload", "seq", "workload: seq | random | oltp | nfs | snapchurn")
 	cleaners := flag.Int("cleaners", 4, "cleaner threads")
+	members := flag.Int("members", 1, "cluster width (FlexGroup constituents)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
 	traceEvents := flag.Int("trace-events", 0, "trace ring-buffer capacity in events (0 = default)")
 	flag.Parse()
@@ -34,6 +35,9 @@ func main() {
 	cfg := wafl.DefaultConfig()
 	cfg.Allocator.InitialCleaners = *cleaners
 	cfg.Allocator.MaxCleaners = *cleaners
+	if *members > 1 {
+		cfg.Members = *members
+	}
 	if *traceOut != "" {
 		cfg.Trace = true
 		cfg.TraceEvents = *traceEvents
@@ -48,23 +52,54 @@ func main() {
 		return
 	}
 
+	// Scale the client spread with the cluster: the stock workloads stripe
+	// round-robin over their Volumes setting, so widen it to the global
+	// volume space (and grow the client count per member).
+	n := sys.Members()
 	switch *wl {
 	case "random":
-		workload.DefaultRandWrite().Attach(sys)
+		w := workload.DefaultRandWrite()
+		w.Clients *= n
+		w.Volumes = sys.TotalVolumes()
+		w.Attach(sys)
 	case "oltp":
-		workload.DefaultOLTP().Attach(sys)
+		w := workload.DefaultOLTP()
+		w.Clients *= n
+		w.Volumes = sys.TotalVolumes()
+		w.Attach(sys)
 	case "nfs":
-		workload.DefaultNFSMix().Attach(sys)
+		w := workload.DefaultNFSMix()
+		w.Clients *= n
+		w.Volumes = sys.TotalVolumes()
+		w.Attach(sys)
 	case "snapchurn":
-		workload.DefaultSnapChurn().Attach(sys)
+		w := workload.DefaultSnapChurn()
+		w.Clients *= n
+		w.Volumes = sys.TotalVolumes()
+		w.Attach(sys)
 	default:
-		workload.DefaultSeqWrite().Attach(sys)
+		w := workload.DefaultSeqWrite()
+		w.Clients *= n
+		w.Volumes = sys.TotalVolumes()
+		w.Attach(sys)
 	}
-	res := sys.Measure(50*wafl.Millisecond, wafl.Duration(runFor.Nanoseconds()))
+	parts := sys.MeasureMembers(50*wafl.Millisecond, wafl.Duration(runFor.Nanoseconds()))
+	res := wafl.MergeResults(parts)
 
 	fmt.Println("=== results ===")
 	fmt.Println(res)
 	fmt.Println()
+	if sys.Members() > 1 {
+		fmt.Println("=== cluster members (measurement window + point-in-time state) ===")
+		fmt.Printf("%-6s  %10s  %6s  %10s  %12s  %8s\n",
+			"member", "ops/s", "cps", "nvlog-fill", "free-blocks", "cleaners")
+		for i := 0; i < sys.Members(); i++ {
+			mi := sys.MemberInfo(i)
+			fmt.Printf("%-6d  %10.0f  %6d  %9.0f%%  %12d  %8d\n",
+				mi.ID, parts[i].OpsPerSec, parts[i].CPs, 100*mi.NVLogFullness, mi.FreeBlocks, mi.Cleaners)
+		}
+		fmt.Println()
+	}
 	fmt.Println("=== allocator (buckets / tetris / stages; Fig 2-3 lifecycle) ===")
 	fmt.Println(sys.InfraStats())
 	fmt.Println()
@@ -77,7 +112,7 @@ func main() {
 	fmt.Println("=== volumes (snapshots & free-space split) ===")
 	created, deleted, reclaimed := sys.SnapStats()
 	fmt.Printf("%-4s  %6s  %10s  %10s  %10s\n", "vol", "snaps", "active", "snap-held", "free")
-	for v := 0; v < cfg.Volumes; v++ {
+	for v := 0; v < sys.TotalVolumes(); v++ {
 		fs := sys.FreeSpaceBreakdown(v)
 		fmt.Printf("%-4d  %6d  %10d  %10d  %10d\n",
 			v, len(sys.SnapshotIDs(v)), fs.Active, fs.SnapOnly, fs.Free)

@@ -71,7 +71,7 @@ func TestDoubleCrashSurvival(t *testing.T) {
 		t.Fatalf("only %d acked ops before crash", len(acked))
 	}
 	// The test is only meaningful if acknowledged ops are still in NVRAM.
-	if sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() {
+	if sys.m0().log.ActiveOps() == 0 && !sys.m0().log.HasFrozen() {
 		t.Fatal("no operations in NVRAM at crash time; grow the workload")
 	}
 
@@ -107,7 +107,7 @@ func TestReplayedOpsReprotected(t *testing.T) {
 	var acked []FBN
 	attachTrackedWriter(sys, ino, &acked)
 	sys.Run(300 * Millisecond)
-	before := sys.log.Replay()
+	before := sys.m0().log.Replay()
 	if len(before) == 0 {
 		t.Fatal("no records in NVRAM at crash time")
 	}
@@ -116,7 +116,7 @@ func TestReplayedOpsReprotected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	after := rec.log.Replay()
+	after := rec.m0().log.Replay()
 	if len(after) != len(before) {
 		t.Fatalf("recovered log holds %d records, want %d", len(after), len(before))
 	}
@@ -200,8 +200,8 @@ func TestTornWriteRecovery(t *testing.T) {
 	})
 	inflight := func() int {
 		n := 0
-		for g := 0; g < sys.a.Groups(); g++ {
-			grp := sys.a.Group(g)
+		for g := 0; g < sys.m0().a.Groups(); g++ {
+			grp := sys.m0().a.Group(g)
 			for d := 0; d < grp.DataDrives(); d++ {
 				n += grp.Drive(d).InflightMultiBlock()
 			}
@@ -225,8 +225,8 @@ func TestTornWriteRecovery(t *testing.T) {
 	}
 	sys.Crash()
 	torn := uint64(0)
-	for g := 0; g < sys.a.Groups(); g++ {
-		grp := sys.a.Group(g)
+	for g := 0; g < sys.m0().a.Groups(); g++ {
+		grp := sys.m0().a.Group(g)
 		for d := 0; d < grp.DataDrives(); d++ {
 			torn += grp.Drive(d).Stats().TornWrites
 		}
@@ -269,7 +269,7 @@ func TestPersistentReadErrorReconstructed(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Pick a committed data block outside the reserved stripe 0.
-	geo := sys.a.Geometry()
+	geo := sys.m0().a.Geometry()
 	var vbn block.VBN
 	found := false
 	for bn := uint64(0); bn < geo.TotalBlocks(); bn++ {
@@ -277,7 +277,7 @@ func TestPersistentReadErrorReconstructed(t *testing.T) {
 		if dbn == 0 {
 			continue
 		}
-		if sys.a.ReadVBNRaw(block.VBN(bn)) != nil {
+		if sys.m0().a.ReadVBNRaw(block.VBN(bn)) != nil {
 			vbn, found = block.VBN(bn), true
 			break
 		}
@@ -285,11 +285,11 @@ func TestPersistentReadErrorReconstructed(t *testing.T) {
 	if !found {
 		t.Fatal("no committed block found")
 	}
-	want := append([]byte(nil), sys.a.ReadVBNRaw(vbn)...)
+	want := append([]byte(nil), sys.m0().a.ReadVBNRaw(vbn)...)
 	g, d, dbn := geo.Locate(vbn)
-	drive := sys.a.Group(g).Drive(d)
+	drive := sys.m0().a.Group(g).Drive(d)
 	sys.Injector().FailBlock(drive.Name(), dbn)
-	got := sys.a.ReadVBNRaw(vbn)
+	got := sys.m0().a.ReadVBNRaw(vbn)
 	if got == nil {
 		t.Fatal("read not repaired")
 	}

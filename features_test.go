@@ -21,7 +21,7 @@ func TestDeleteReclaimsSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 	usedBefore := uint64(sys.cfg.DriveBlocks) // placeholder, replaced below
-	usedBefore = sys.a.Activemap.Used()
+	usedBefore = sys.m0().a.Activemap.Used()
 
 	sys.stopped = false
 	sys.ClientThread("reaper", func(c *ClientCtx) {
@@ -37,7 +37,7 @@ func TestDeleteReclaimsSpace(t *testing.T) {
 	if err := sys.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	usedAfter := sys.a.Activemap.Used()
+	usedAfter := sys.m0().a.Activemap.Used()
 	// The file's ~600 L0 blocks plus indirects must have been reclaimed.
 	if usedBefore-usedAfter < 600 {
 		t.Fatalf("reclaimed only %d blocks", usedBefore-usedAfter)
@@ -144,9 +144,9 @@ func TestFsckDetectsCorruption(t *testing.T) {
 	// Inject corruption: flip a used bit off in the in-memory activemap
 	// and persist it via another CP — the block becomes referenced but
 	// not marked used.
-	f := sys.a.Volume(0).LookupFile(ino)
+	f := sys.m0().a.Volume(0).LookupFile(ino)
 	b := f.Buffer(0, 0)
-	sys.a.Activemap.Clear(uint64(b.VBN()))
+	sys.m0().a.Activemap.Clear(uint64(b.VBN()))
 	if err := sys.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestLooseAccountingMatchesGroundTruth(t *testing.T) {
 	}
 	// After quiesce every token has flushed: the loose counter equals the
 	// activemap's ground truth.
-	if got, want := sys.AggrFreeBlocks(), int64(sys.a.TotalFree()); got != want {
+	if got, want := sys.AggrFreeBlocks(), int64(sys.m0().a.TotalFree()); got != want {
 		t.Fatalf("loose counter %d != ground truth %d", got, want)
 	}
 }

@@ -8,7 +8,7 @@ import (
 // full recount of its activemap and summary map.
 func verifyFreeIndexes(t *testing.T, sys *System, label string) {
 	t.Helper()
-	for _, v := range sys.a.Volumes() {
+	for _, v := range sys.m0().a.Volumes() {
 		if errs := v.FreeIdx.Verify(); len(errs) != 0 {
 			t.Fatalf("%s: vol %d free-space index inconsistent: %v", label, v.ID(), errs)
 		}
@@ -90,7 +90,7 @@ func TestFsckCatchesFreeIndexCorruption(t *testing.T) {
 		t.Fatalf("baseline fsck: %s", rep)
 	}
 
-	idx := sys.a.Volume(0).FreeIdx
+	idx := sys.m0().a.Volume(0).FreeIdx
 	idx.CorruptRegionCounter(0, -7)
 	if rep := sys.Fsck(); rep.IdxErrs == 0 || rep.OK() {
 		t.Fatalf("fsck missed corrupted region counter: %s", rep)

@@ -41,15 +41,45 @@ func (r FsckReport) String() string {
 		r.ContainerErrs, r.VVBNErrs, r.SnapErrs, r.IdxErrs, r.Files, r.Snapshots, len(r.Errors))
 }
 
-// Fsck mounts the committed media image and cross-checks it: every block
-// reachable from the superblock must be marked used in the persisted
-// activemap, every used bit must be reachable (no leaks), no block may be
-// referenced twice, and for user files the container map and volume
-// activemaps must agree with the buffer trees. It never touches the
-// running system's in-memory state.
+// Fsck checks every member's committed media image and merges the
+// reports: counters sum, errors concatenate (member-prefixed on a
+// cluster). It never touches the running system's in-memory state.
 func (sys *System) Fsck() FsckReport {
+	if len(sys.members) == 1 {
+		return sys.members[0].fsck()
+	}
 	var r FsckReport
-	m, err := aggregate.MountFrom(sys.a)
+	for _, mem := range sys.members {
+		mr := mem.fsck()
+		r.ReferencedBlocks += mr.ReferencedBlocks
+		r.UsedBits += mr.UsedBits
+		r.Leaked += mr.Leaked
+		r.DoubleRefs += mr.DoubleRefs
+		r.Missing += mr.Missing
+		r.ContainerErrs += mr.ContainerErrs
+		r.VVBNErrs += mr.VVBNErrs
+		r.SnapErrs += mr.SnapErrs
+		r.IdxErrs += mr.IdxErrs
+		r.Files += mr.Files
+		r.Snapshots += mr.Snapshots
+		for _, e := range mr.Errors {
+			r.Errors = appendCapped(r.Errors, fmt.Sprintf("member %d: %s", mem.id, e))
+		}
+	}
+	return r
+}
+
+// FsckMember checks the committed media image of one member.
+func (sys *System) FsckMember(i int) FsckReport { return sys.members[i].fsck() }
+
+// fsck mounts the member's committed media image and cross-checks it:
+// every block reachable from the superblock must be marked used in the
+// persisted activemap, every used bit must be reachable (no leaks), no
+// block may be referenced twice, and for user files the container map and
+// volume activemaps must agree with the buffer trees.
+func (mem *Member) fsck() FsckReport {
+	var r FsckReport
+	m, err := aggregate.MountFrom(mem.a)
 	if err != nil {
 		r.Errors = append(r.Errors, err.Error())
 		return r
@@ -207,7 +237,7 @@ func (sys *System) Fsck() FsckReport {
 			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d (mounted): %s", v.ID(), e))
 		}
 	}
-	for _, v := range sys.a.Volumes() {
+	for _, v := range mem.a.Volumes() {
 		for _, e := range v.FreeIdx.Verify() {
 			r.IdxErrs++
 			r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d (live): %s", v.ID(), e))

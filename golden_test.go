@@ -1,0 +1,119 @@
+package wafl
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"testing"
+)
+
+// goldenScenario runs a fixed mixed workload (writes, creates, deletes,
+// snapshot churn, reads) on a traced small system and returns digests of
+// everything that must not change across refactors: the committed
+// superblock bytes, the full trace-event stream, and the event count.
+//
+// The golden constants below were captured on the single-aggregate code
+// BEFORE the Member/Cluster split (PR 6). With Members = 1 the cluster
+// must be bit-identical to the pre-refactor system: same superblock, same
+// trace stream, same event count. Any drift here means the refactor
+// changed simulation behavior, not just structure.
+func goldenScenario(t *testing.T, cfg Config) (superSHA, traceSHA string, events uint64) {
+	t.Helper()
+	cfg.Trace = true
+	cfg.PayloadBytes = 512
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+
+	base := make([]uint64, 4)
+	for i := range base {
+		base[i] = sys.CreateFileDirect(i%cfg.Volumes, 512)
+	}
+	if err := sys.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	for i := 0; i < 4; i++ {
+		i := i
+		vol := i % cfg.Volumes
+		ino := base[i]
+		sys.ClientThread("golden", func(c *ClientCtx) {
+			var mine []uint64
+			var snap uint64
+			for op := 0; op < 120 && c.Alive(); op++ {
+				switch {
+				case op%40 == 39 && vol == 0:
+					if snap == 0 {
+						snap = c.SnapCreate(vol)
+					} else {
+						c.SnapDelete(vol, snap)
+						snap = 0
+					}
+				case op%10 == 7:
+					f := c.Create(vol, 32)
+					c.Write(vol, f, 0, 2)
+					mine = append(mine, f)
+				case op%10 == 8 && len(mine) > 0:
+					c.Delete(vol, mine[0])
+					mine = mine[1:]
+				case op%10 == 9:
+					c.Read(vol, ino, FBN(c.Rand(500)), 2)
+				default:
+					c.Write(vol, ino, FBN(c.Rand(500)), 1+int(c.Rand(3)))
+				}
+			}
+			done++
+		})
+	}
+	for i := 0; i < 64 && done < 4; i++ {
+		sys.Run(100 * Millisecond)
+	}
+	if done < 4 {
+		t.Fatal("golden workload did not finish")
+	}
+	if err := sys.Quiesce(); err != nil {
+		t.Fatal(err)
+	}
+
+	sh := sha256.Sum256(sys.SuperblockBytes())
+	th := sha256.New()
+	var buf [8]byte
+	for _, e := range sys.Tracer().Events() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.Start))
+		th.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.Dur))
+		th.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(e.Arg))
+		th.Write(buf[:])
+		th.Write([]byte{byte(e.Pid), byte(e.Tid), byte(e.Ph)})
+		th.Write([]byte(e.Name))
+	}
+	return hex.EncodeToString(sh[:]), hex.EncodeToString(th.Sum(nil)), sys.Events()
+}
+
+// Golden digests captured on the pre-refactor single-aggregate code (seed
+// of PR 6). See goldenScenario.
+const (
+	goldenSuperSHA = "738a1d30506744024767acaae2e0a80ea5bbba0b1a291b793bfd781da853e86d"
+	goldenTraceSHA = "c4f1ca6aeac20e897f3cb3bc03d305287eeae446a8bca271df73fb600002330f"
+	goldenEvents   = 9225
+)
+
+// TestMembers1BitIdenticalToSeed locks the Members=1 cluster to the exact
+// pre-refactor behavior: trace stream, superblock bytes, and event count
+// must all match the golden digests captured before the Member/Cluster
+// split.
+func TestMembers1BitIdenticalToSeed(t *testing.T) {
+	super, trace, events := goldenScenario(t, smallConfig())
+	if super != goldenSuperSHA {
+		t.Errorf("superblock digest drifted from pre-refactor golden:\n got %s\nwant %s", super, goldenSuperSHA)
+	}
+	if trace != goldenTraceSHA {
+		t.Errorf("trace digest drifted from pre-refactor golden:\n got %s\nwant %s", trace, goldenTraceSHA)
+	}
+	if events != goldenEvents {
+		t.Errorf("event count drifted from pre-refactor golden: got %d want %d", events, goldenEvents)
+	}
+}

@@ -121,6 +121,78 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.Max
 }
 
+// Clone returns an independent deep copy of the histogram. Measurement
+// windows snapshot a live histogram with Clone and later Delta the end
+// state against the snapshot.
+func (h *Histogram) Clone() *Histogram {
+	c := *h
+	c.buckets = make([]uint64, len(h.buckets))
+	copy(c.buckets, h.buckets)
+	return &c
+}
+
+// Delta returns the samples recorded in h after the snapshot prev (which
+// must be an earlier Clone of the same histogram): per-bucket counts,
+// Count, and Sum subtract exactly. Min/Max of the window are recovered
+// from the first and last non-empty delta buckets (exact to within one
+// bucket, the histogram's native resolution), clamped to the cumulative
+// extremes.
+func (h *Histogram) Delta(prev *Histogram) *Histogram {
+	d := &Histogram{Name: h.Name, buckets: make([]uint64, len(h.buckets))}
+	if prev == nil {
+		copy(d.buckets, h.buckets)
+		d.Count, d.Sum, d.Min, d.Max = h.Count, h.Sum, h.Min, h.Max
+		return d
+	}
+	d.Count = h.Count - prev.Count
+	d.Sum = h.Sum - prev.Sum
+	lo, hi := -1, -1
+	for b := range h.buckets {
+		n := h.buckets[b] - prev.buckets[b]
+		d.buckets[b] = n
+		if n > 0 {
+			if lo < 0 {
+				lo = b
+			}
+			hi = b
+		}
+	}
+	if lo >= 0 {
+		d.Min = bucketUpper(lo)
+		if lo > 0 {
+			d.Min = bucketUpper(lo-1) + 1
+		}
+		if d.Min < h.Min {
+			d.Min = h.Min
+		}
+		d.Max = bucketUpper(hi)
+		if d.Max > h.Max {
+			d.Max = h.Max
+		}
+	}
+	return d
+}
+
+// Merge folds other into h: bucket counts, Count, and Sum add exactly;
+// Min/Max take the tighter extreme. Used to combine per-member window
+// histograms into one cluster-wide latency distribution.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.Count == 0 {
+		return
+	}
+	if h.Count == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for b, n := range other.buckets {
+		h.buckets[b] += n
+	}
+}
+
 // String renders the histogram as one summary line.
 func (h *Histogram) String() string {
 	return fmt.Sprintf("%s: n=%d avg=%s p50=%s p95=%s p99=%s max=%s",

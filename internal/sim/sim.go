@@ -120,12 +120,13 @@ type Scheduler struct {
 	busy       [NumCategories]Duration
 	dispatched uint64 // events processed
 
-	yield    chan struct{} // threads hand the execution token back here
-	rng      *rand.Rand
-	running  bool
-	live     int       // live (not yet finished) threads
-	threads  []*Thread // every thread ever spawned (for Shutdown)
-	poisoned bool      // Shutdown in progress: resumed threads unwind
+	yield       chan struct{} // threads hand the execution token back here
+	rng         *rand.Rand
+	running     bool
+	live        int       // live (not yet finished) threads
+	threads     []*Thread // every thread ever spawned (for Shutdown)
+	poisoned    bool      // Shutdown in progress: resumed threads unwind
+	spawnPrefix string    // prepended to every spawned thread's name
 
 	// Halt state: crash-schedule fault injection stops the event loop at a
 	// precise, reproducible point — between two events — so that a caller
@@ -193,16 +194,40 @@ func (s *Scheduler) Shutdown() {
 // later KillFrom(mark) terminates exactly the threads spawned after it.
 func (s *Scheduler) ThreadMark() int { return len(s.threads) }
 
+// SetSpawnPrefix prepends p to the name of every subsequently spawned
+// thread. A cluster of subsystems sharing one scheduler uses it to keep
+// thread (and trace-track) names distinct per subsystem; the empty prefix
+// leaves names exactly as passed to Go.
+func (s *Scheduler) SetSpawnPrefix(p string) { s.spawnPrefix = p }
+
 // KillFrom terminates every thread spawned at or after the given mark — the
 // crash model for one subsystem sharing the scheduler with its recovered
 // successor: the old system's threads must stop executing (a real crash
 // destroys them), while the scheduler lives on for the new instance. Must
 // not be called while Run is active.
 func (s *Scheduler) KillFrom(mark int) {
+	s.KillRange(mark, len(s.threads))
+}
+
+// KillRange terminates exactly the threads with spawn index in [lo, hi) —
+// the crash model for ONE member of a cluster sharing the scheduler:
+// threads spawned before and after the member's build window keep running
+// (survivor members serve traffic through the crash). Must not be called
+// while Run is active.
+func (s *Scheduler) KillRange(lo, hi int) {
 	if s.running {
-		panic("sim: KillFrom during Run")
+		panic("sim: KillRange during Run")
 	}
-	for _, t := range s.threads[mark:] {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.threads) {
+		hi = len(s.threads)
+	}
+	if lo >= hi {
+		return
+	}
+	for _, t := range s.threads[lo:hi] {
 		t.killed = true
 	}
 	// Purge killed threads waiting for a CPU: they must never take a core.
@@ -213,7 +238,7 @@ func (s *Scheduler) KillFrom(mark int) {
 		}
 	}
 	s.readyQ = live
-	for _, t := range s.threads[mark:] {
+	for _, t := range s.threads[lo:hi] {
 		if !t.done {
 			s.runThread(t)
 		}

@@ -36,6 +36,7 @@ type killSentinel struct{}
 
 // spawn builds a thread and its goroutine, scheduled to start at time at.
 func (s *Scheduler) spawn(at Time, name string, cat Category, fn func(*Thread)) *Thread {
+	name = s.spawnPrefix + name
 	t := &Thread{
 		s:         s,
 		name:      name,

@@ -11,6 +11,7 @@ type HierarchyConfig struct {
 	VolumesPerAgg int // Volume affinity instances per aggregate
 	StripesPerVol int // Stripe affinity instances per Volume Logical
 	RangesPerVBN  int // Range affinity instances per {Volume,Aggr} VBN
+	FirstAggr     int // numbering offset for affinity names (cluster members)
 }
 
 // DefaultHierarchy matches the mid-range testbed shape used in §V: one
@@ -57,7 +58,8 @@ type Hierarchy struct {
 // NewHierarchy builds the standard tree on scheduler w.
 func NewHierarchy(w *Scheduler, cfg HierarchyConfig) *Hierarchy {
 	h := &Hierarchy{Sched: w, Serial: w.Root()}
-	for ai := 0; ai < cfg.Aggregates; ai++ {
+	for i := 0; i < cfg.Aggregates; i++ {
+		ai := cfg.FirstAggr + i
 		aggr := &AggrAffinities{}
 		aggr.Aggr = w.AddChild(h.Serial, KindAggregate, fmt.Sprintf("aggr%d", ai))
 		aggr.AggrVBN = w.AddChild(aggr.Aggr, KindAggrVBN, fmt.Sprintf("aggr%d.vbn", ai))

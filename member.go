@@ -1,0 +1,295 @@
+package wafl
+
+import (
+	"fmt"
+
+	"wafl/internal/aggregate"
+	"wafl/internal/block"
+	"wafl/internal/core"
+	"wafl/internal/cp"
+	"wafl/internal/faultinject"
+	"wafl/internal/nvlog"
+	"wafl/internal/obs"
+	"wafl/internal/sim"
+	"wafl/internal/waffinity"
+)
+
+// Member is one constituent of a cluster: a complete per-aggregate storage
+// stack — Waffinity hierarchy and worker pool, RAID aggregate with its
+// FlexVols and superblock, White Alligator allocation infrastructure and
+// cleaner pool, consistency-point engine, NVRAM log partition, and fault
+// injector. A single-member System is exactly the pre-cluster single
+// aggregate; a multi-member System stripes its namespace across members,
+// each with its own CP cadence and its own crash domain.
+//
+// All of a member's service threads are spawned eagerly during
+// construction, so they occupy a contiguous range of scheduler thread
+// indices ([threadLo, threadHi)); crashing a member kills exactly that
+// range while every other member's threads keep running.
+type Member struct {
+	sys    *System
+	id     int
+	w      *waffinity.Scheduler
+	h      *waffinity.Hierarchy
+	a      *aggregate.Aggregate
+	in     *core.Infra
+	pool   *core.Pool
+	engine *cp.Engine
+	log    *nvlog.Log
+	tuner  *core.Tuner
+	inj    *faultinject.Injector // nil unless Config.Faults enables an arm
+
+	threadLo, threadHi int // scheduler thread-index range of service threads
+	crashed            bool
+
+	// reserved is the per-local-volume ingest reservation (blocks charged
+	// by PlaceFile for files placed but not yet written). Host-side
+	// placement state; never read by simulated threads.
+	reserved []int64
+
+	// Per-member cumulative client statistics; Results windows diff these.
+	opsDone   uint64
+	blocksW   uint64
+	blocksR   uint64
+	stalls    uint64
+	stallTime sim.Duration
+	lat       *obs.Histogram // client op latency, log-linear buckets
+}
+
+// spawnPrefix returns the thread-name prefix for member id: empty for
+// member 0 (so a single-member system's thread and trace-track names are
+// byte-identical to the pre-cluster code), "m<id>." otherwise.
+func spawnPrefix(id int) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("m%d.", id)
+}
+
+// buildMember constructs and formats one member on the cluster's shared
+// scheduler. The construction sequence (waffinity scheduler and workers,
+// hierarchy, aggregate, volumes, infra, cleaner pool, NVRAM log, CP
+// engine, tuner) is the pre-cluster NewSystem sequence verbatim; for a
+// single-member system the resulting event stream is bit-identical.
+func buildMember(sys *System, id int) (*Member, error) {
+	cfg := sys.cfg
+	s := sys.s
+	s.SetSpawnPrefix(spawnPrefix(id))
+	defer s.SetSpawnPrefix("")
+	m := &Member{sys: sys, id: id, threadLo: s.ThreadMark(), lat: obs.NewHistogram("client.lat"),
+		reserved: make([]int64, cfg.Volumes)}
+	m.w = waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
+	m.h = waffinity.NewHierarchy(m.w, waffinity.HierarchyConfig{
+		Aggregates:    1,
+		VolumesPerAgg: cfg.Volumes,
+		StripesPerVol: cfg.StripesPerVolume,
+		RangesPerVBN:  cfg.RangesPerVBN,
+		FirstAggr:     id,
+	})
+	a, err := aggregate.New(s, aggregate.Config{
+		Geometry: aggregate.Geometry{
+			NumGroups:  cfg.RAIDGroups,
+			DataDrives: cfg.DataDrives,
+			Depth:      block.DBN(cfg.DriveBlocks),
+			AAStripes:  block.DBN(cfg.AAStripes),
+		},
+		Profile: cfg.Drives.profile(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.a = a
+	for i := 0; i < cfg.Volumes; i++ {
+		a.AddVolume(cfg.VolumeBlocks)
+	}
+	m.in = core.NewInfra(m.w, m.h, a, cfg.Allocator, cfg.Costs)
+	m.pool = core.NewPool(m.in, cfg.Allocator, cfg.Costs)
+	m.log = nvlog.New(cfg.NVRAMHalfBytes)
+	m.engine = cp.New(m.w, m.h, a, m.in, m.pool, m.log, cfg.Allocator, cfg.Costs)
+	if cfg.Allocator.Dynamic {
+		m.tuner = core.StartTuner(m.pool, cfg.Tuner)
+	}
+	m.threadHi = s.ThreadMark()
+	return m, nil
+}
+
+// remountMember rebuilds a crashed member from its persistent state: it
+// mounts the last committed consistency point from the member's drives and
+// replays the member's NVRAM log partition, leaving the replayed
+// operations dirty for the next CP. The rebuilt member runs on the same
+// scheduler and drives; cumulative client statistics carry over so
+// measurement windows spanning the crash stay meaningful.
+func (sys *System) remountMember(om *Member) (*Member, error) {
+	a, err := aggregate.MountFrom(om.a)
+	if err != nil {
+		return nil, fmt.Errorf("wafl: recovery mount of member %d failed: %w", om.id, err)
+	}
+	cfg := sys.cfg
+	s := sys.s
+	s.SetSpawnPrefix(spawnPrefix(om.id))
+	defer s.SetSpawnPrefix("")
+	m := &Member{
+		sys: sys, id: om.id, a: a, threadLo: s.ThreadMark(),
+		opsDone: om.opsDone, blocksW: om.blocksW, blocksR: om.blocksR,
+		stalls: om.stalls, stallTime: om.stallTime, lat: om.lat,
+		reserved: om.reserved,
+	}
+	// Everything volatile is rebuilt from scratch — including the Waffinity
+	// scheduler and its worker threads (the crash destroyed the old ones).
+	m.w = waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
+	m.h = waffinity.NewHierarchy(m.w, waffinity.HierarchyConfig{
+		Aggregates:    1,
+		VolumesPerAgg: cfg.Volumes,
+		StripesPerVol: cfg.StripesPerVolume,
+		RangesPerVBN:  cfg.RangesPerVBN,
+		FirstAggr:     om.id,
+	})
+	m.in = core.NewInfra(m.w, m.h, a, cfg.Allocator, cfg.Costs)
+	m.pool = core.NewPool(m.in, cfg.Allocator, cfg.Costs)
+	m.log = nvlog.New(cfg.NVRAMHalfBytes)
+	m.engine = cp.New(m.w, m.h, a, m.in, m.pool, m.log, cfg.Allocator, cfg.Costs)
+	if cfg.Allocator.Dynamic {
+		m.tuner = core.StartTuner(m.pool, cfg.Tuner)
+	}
+	// Replay the surviving NVRAM records, then re-log them into the new
+	// log with their original sequence numbers. Replayed operations were
+	// acknowledged to clients, so until a CP commits them they must stay
+	// NVRAM-protected (§II-C): without re-logging, a second crash before
+	// the next CP would silently lose them. The restored records may
+	// exceed one half's capacity (they occupied up to two halves before
+	// the crash); the over-full active half stalls new client ops until
+	// the recovery CP below drains it.
+	records := om.log.Replay()
+	m.replay(records)
+	m.log.Restore(records)
+	if len(records) > 0 {
+		// Schedule a recovery CP so the replayed state reaches disk (and
+		// frees the log) promptly once the scheduler runs again.
+		m.engine.RequestCP()
+	}
+	// Fault injection outlives the crash: the drives are the same objects
+	// (media persists), so the plan wired into them keeps applying.
+	m.inj = om.inj
+	m.threadHi = s.ThreadMark()
+	return m, nil
+}
+
+// crash destroys the member's volatile state: its service threads, its
+// in-flight drive I/O, its buffer caches and allocator state. The member
+// is unusable until remounted.
+func (m *Member) crash() {
+	m.crashed = true
+	if m.tuner != nil {
+		m.tuner.Stop()
+	}
+	m.sys.s.KillRange(m.threadLo, m.threadHi)
+	m.a.CrashAll()
+}
+
+// replay reapplies logged operations in sequence order against the mounted
+// member file system. Record coordinates (Vol, Ino) are member-local.
+func (m *Member) replay(records []nvlog.Record) {
+	for _, rec := range records {
+		v := m.a.Volume(int(rec.Vol))
+		switch rec.Kind {
+		case nvlog.OpCreate:
+			v.CreateFileAt(rec.Ino, rec.MaxBlocks)
+		case nvlog.OpDelete:
+			v.DeleteFile(rec.Ino) // idempotent
+
+		case nvlog.OpSnapCreate:
+			// Idempotent: a no-op if the snapshot was materialized by a CP
+			// that committed before the crash; otherwise it is re-queued and
+			// the recovery CP materializes it.
+			v.RequestSnapshotAt(rec.Ino)
+		case nvlog.OpSnapDelete:
+			v.DeleteSnapshot(rec.Ino) // idempotent
+
+		case nvlog.OpWrite:
+			f := v.LookupFile(rec.Ino)
+			if f == nil {
+				panic(fmt.Sprintf("wafl: replay write to unknown ino %d", rec.Ino))
+			}
+			// Install the block's existing location (if any) so the
+			// replayed overwrite frees it at the next CP.
+			v.EnsureL0Resident(f, rec.FBN)
+			f.WriteBlock(rec.FBN, rec.Data)
+			v.MarkDirty(f)
+		}
+	}
+}
+
+// volAffs is the single member-resolution point for the Waffinity
+// hierarchy: every call site that needs a volume's affinity instances goes
+// through here (and the helpers below) rather than indexing h.Aggrs
+// directly — `make affcheck` enforces it.
+func (m *Member) volAffs(localVol int) *waffinity.VolAffinities {
+	return m.h.Aggrs[0].Volumes[localVol]
+}
+
+// stripeAff maps (local volume, fbn) to the stripe affinity owning that
+// file region.
+func (m *Member) stripeAff(localVol int, fbn FBN) *waffinity.Affinity {
+	stripes := m.volAffs(localVol).Stripes
+	idx := int(uint64(fbn)/m.sys.cfg.StripeWidthBlocks) % len(stripes)
+	return stripes[idx]
+}
+
+// logicalAff returns the volume's Logical affinity (client-facing file
+// operations outside any single stripe: creates, deletes, snapshots).
+func (m *Member) logicalAff(localVol int) *waffinity.Affinity {
+	return m.volAffs(localVol).Logical
+}
+
+// call executes fn inside aff on the member's Waffinity scheduler,
+// blocking t until it completes.
+func (m *Member) call(t *sim.Thread, aff *waffinity.Affinity, cat sim.Category, fn func(*sim.Thread)) {
+	m.w.Call(t, aff, cat, fn)
+}
+
+// maybeTriggerCP starts a CP when the member's active NVRAM half passes
+// the configured threshold.
+func (m *Member) maybeTriggerCP() {
+	if m.log.Fullness() >= m.sys.cfg.CPTriggerFullness && !m.log.HasFrozen() {
+		m.engine.RequestCP()
+	}
+}
+
+// Handle encoding: a file handle returned by Create/CreateFileDirect
+// carries its member id in the top bits, making routing stateless after
+// create — any node can derive the owning constituent from the handle
+// alone, without a namespace lookup. Member 0 handles are the bare inode
+// number, so single-member systems see exactly the pre-cluster handles.
+const memberShift = 48
+
+func memberHandle(id int, ino uint64) uint64 {
+	if id == 0 {
+		return ino
+	}
+	return uint64(id)<<memberShift | ino
+}
+
+func handleMember(ino uint64) int  { return int(ino >> memberShift) }
+func handleIno(ino uint64) uint64  { return ino & (1<<memberShift - 1) }
+
+// m0 returns member 0 — the whole system when Members == 1. In-package
+// tests reach single-member internals (aggregate, NVRAM log) through it.
+func (sys *System) m0() *Member { return sys.members[0] }
+
+// volMember resolves a global volume index to (member, member-local
+// volume). Global volume v lives on member v / cfg.Volumes.
+func (sys *System) volMember(vol int) (*Member, int) {
+	return sys.members[vol/sys.cfg.Volumes], vol % sys.cfg.Volumes
+}
+
+// resolve routes an operation addressed by (global volume, file handle) to
+// its member: the handle's embedded constituent id wins when present
+// (stateless routing); bare handles route by volume. Returns the member,
+// the member-local volume index, and the member-local inode number.
+func (sys *System) resolve(vol int, ino uint64) (*Member, int, uint64) {
+	if mid := handleMember(ino); mid != 0 {
+		return sys.members[mid], vol % sys.cfg.Volumes, handleIno(ino)
+	}
+	m, lv := sys.volMember(vol)
+	return m, lv, ino
+}

@@ -1,114 +1,73 @@
 package wafl
 
-import (
-	"fmt"
-
-	"wafl/internal/aggregate"
-	"wafl/internal/core"
-	"wafl/internal/cp"
-	"wafl/internal/nvlog"
-	"wafl/internal/waffinity"
-)
-
-// Crash models a power loss: every simulated thread belonging to this
-// System is destroyed (a CP caught mid-flight never finishes), every
-// in-flight drive I/O is dropped, and all volatile state (buffer caches,
-// dirty lists, allocator state) is abandoned. The System is unusable
-// afterwards; call Recover to mount a new System from the committed media
-// plus the (nonvolatile) operation log.
+// Crash models a whole-node power loss: every simulated thread belonging
+// to this System is destroyed (a CP caught mid-flight never finishes),
+// every in-flight drive I/O on every member is dropped, and all volatile
+// state (buffer caches, dirty lists, allocator state) is abandoned. The
+// System is unusable afterwards; call Recover to mount a new System from
+// the committed media plus the (nonvolatile) operation logs.
+//
+// For a partial failure — one member down, survivors serving traffic —
+// use CrashMember/RecoverMember instead.
 func (sys *System) Crash() {
 	sys.stopped = true
-	if sys.tuner != nil {
-		sys.tuner.Stop()
+	for _, m := range sys.members {
+		if m.tuner != nil {
+			m.tuner.Stop()
+		}
 	}
 	sys.s.KillFrom(sys.threadMark)
-	sys.a.CrashAll()
+	for _, m := range sys.members {
+		m.a.CrashAll()
+	}
 }
 
 // Recover mounts a fresh System from the crashed system's persistent
-// state: it loads the last committed consistency point from the drives and
-// replays the NVRAM log (frozen half first, then active), leaving the
-// replayed operations dirty in memory for the next CP — exactly the
-// paper's §II-C recovery contract. The recovered System runs on the same
-// simulated scheduler and drives.
+// state: each member loads its last committed consistency point from its
+// drives and replays its NVRAM log partition (frozen half first, then
+// active), leaving the replayed operations dirty in memory for the next
+// CP — exactly the paper's §II-C recovery contract. The recovered System
+// runs on the same simulated scheduler and drives.
 //
 // Mount-time and replay work is untimed: recovery latency is not part of
 // any measured experiment.
 func (sys *System) Recover() (*System, error) {
-	a, err := aggregate.MountFrom(sys.a)
-	if err != nil {
-		return nil, fmt.Errorf("wafl: recovery mount failed: %w", err)
+	ns := &System{cfg: sys.cfg, s: sys.s, threadMark: sys.s.ThreadMark()}
+	for _, om := range sys.members {
+		m, err := sys.remountMember(om)
+		if err != nil {
+			return nil, err
+		}
+		m.sys = ns
+		ns.members = append(ns.members, m)
 	}
-	cfg := sys.cfg
-	mark := sys.s.ThreadMark()
-	// Everything volatile is rebuilt from scratch — including the Waffinity
-	// scheduler and its worker threads (the crash destroyed the old ones).
-	w := waffinity.New(sys.s, cfg.Cores, cfg.Costs.MsgDispatch)
-	h := waffinity.NewHierarchy(w, waffinity.HierarchyConfig{
-		Aggregates:    1,
-		VolumesPerAgg: cfg.Volumes,
-		StripesPerVol: cfg.StripesPerVolume,
-		RangesPerVBN:  cfg.RangesPerVBN,
-	})
-	in := core.NewInfra(w, h, a, cfg.Allocator, cfg.Costs)
-	pool := core.NewPool(in, cfg.Allocator, cfg.Costs)
-	log := nvlog.New(cfg.NVRAMHalfBytes)
-	engine := cp.New(w, h, a, in, pool, log, cfg.Allocator, cfg.Costs)
-	ns := &System{cfg: cfg, s: sys.s, w: w, h: h, a: a, in: in, pool: pool, engine: engine, log: log, threadMark: mark}
-	if cfg.Allocator.Dynamic {
-		ns.tuner = core.StartTuner(pool, cfg.Tuner)
-	}
-	// Replay the surviving NVRAM records, then re-log them into the new
-	// log with their original sequence numbers. Replayed operations were
-	// acknowledged to clients, so until a CP commits them they must stay
-	// NVRAM-protected (§II-C): without re-logging, a second crash before
-	// the next CP would silently lose them. The restored records may
-	// exceed one half's capacity (they occupied up to two halves before
-	// the crash); the over-full active half stalls new client ops until
-	// the recovery CP below drains it.
-	records := sys.log.Replay()
-	ns.replay(records)
-	ns.log.Restore(records)
-	if len(records) > 0 {
-		// Schedule a recovery CP so the replayed state reaches disk (and
-		// frees the log) promptly once the scheduler runs again.
-		ns.engine.RequestCP()
-	}
-	// Fault injection outlives the crash: the drives are the same objects
-	// (media persists), so the plan wired into them keeps applying.
-	ns.inj = sys.inj
 	return ns, nil
 }
 
-// replay reapplies logged operations in sequence order against the mounted
-// file system.
-func (ns *System) replay(records []nvlog.Record) {
-	for _, rec := range records {
-		v := ns.a.Volume(int(rec.Vol))
-		switch rec.Kind {
-		case nvlog.OpCreate:
-			v.CreateFileAt(rec.Ino, rec.MaxBlocks)
-		case nvlog.OpDelete:
-			v.DeleteFile(rec.Ino) // idempotent
-
-		case nvlog.OpSnapCreate:
-			// Idempotent: a no-op if the snapshot was materialized by a CP
-			// that committed before the crash; otherwise it is re-queued and
-			// the recovery CP materializes it.
-			v.RequestSnapshotAt(rec.Ino)
-		case nvlog.OpSnapDelete:
-			v.DeleteSnapshot(rec.Ino) // idempotent
-
-		case nvlog.OpWrite:
-			f := v.LookupFile(rec.Ino)
-			if f == nil {
-				panic(fmt.Sprintf("wafl: replay write to unknown ino %d", rec.Ino))
-			}
-			// Install the block's existing location (if any) so the
-			// replayed overwrite frees it at the next CP.
-			v.EnsureL0Resident(f, rec.FBN)
-			f.WriteBlock(rec.FBN, rec.Data)
-			v.MarkDirty(f)
-		}
+// CrashMember models a single-member failure: member i's service threads
+// are destroyed, its in-flight drive I/O is dropped, and its volatile
+// state is abandoned — while every other member keeps serving traffic.
+// Clients pinned to the failed member must go down with it (their
+// closed-loop sessions die with the node that served them); pass them so
+// their threads are killed too. The member is unusable until
+// RecoverMember.
+func (sys *System) CrashMember(i int, clients ...*ClientCtx) {
+	for _, c := range clients {
+		sys.s.KillRange(c.threadIdx, c.threadIdx+1)
 	}
+	sys.members[i].crash()
+}
+
+// RecoverMember remounts crashed member i in place from its persistent
+// state — committed media plus its NVRAM log partition — while the rest of
+// the cluster keeps running. New service threads are spawned on the shared
+// scheduler; cumulative statistics carry over. Clients for the recovered
+// member must be re-attached by the caller (ClientThread).
+func (sys *System) RecoverMember(i int) error {
+	m, err := sys.remountMember(sys.members[i])
+	if err != nil {
+		return err
+	}
+	sys.members[i] = m
+	return nil
 }

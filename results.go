@@ -2,9 +2,9 @@ package wafl
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"wafl/internal/obs"
 	"wafl/internal/sim"
 )
 
@@ -30,7 +30,17 @@ func (c CoreUsage) Total() float64 {
 // threads plus infrastructure (the paper's "write allocation core usage").
 func (c CoreUsage) WriteAllocation() float64 { return c.Cleaner + c.Infra }
 
-// Results summarizes one measurement window.
+// Results summarizes one measurement window. Latency percentiles come from
+// a log-linear histogram (16 sub-buckets per octave), so they are exact to
+// within one bucket — and the window's memory cost is O(1) regardless of
+// how many operations it covers.
+//
+// A cluster measurement is the merge of per-member windows (MergeResults):
+// op, block, CP, and stall totals are exact sums; core usage is the
+// event-weighted average of the per-window values (CPU is a shared
+// cluster-wide resource, so each per-member window reports the cluster's
+// core usage and the weighted average recovers it); latency percentiles
+// come from the merged histograms.
 type Results struct {
 	Window     Duration
 	Ops        uint64
@@ -48,6 +58,11 @@ type Results struct {
 	StallTime  Duration
 	FullStripe float64 // fraction of stripes written full (no parity reads)
 	Cleaners   int     // active cleaner threads at window end
+
+	// lat is the window's latency histogram, kept so windows can be merged
+	// (MergeResults) without losing distribution information. Nil on a
+	// zero Results.
+	lat *obs.Histogram
 }
 
 // String renders the results as a compact report.
@@ -61,68 +76,76 @@ func (r Results) String() string {
 	return b.String()
 }
 
-// snapshot captures the counters Measure diffs.
-type snapshot struct {
-	at          Time
-	cpu         sim.CPUStats
+// memberSnap captures one member's counters at a snapshot instant.
+type memberSnap struct {
 	ops         uint64
 	blocks      uint64
 	stalls      uint64
 	stallT      Duration
-	latIdx      int
+	lat         *obs.Histogram // clone of the member's cumulative histogram
 	cps         uint64
 	fullStripes uint64
 	partStripes uint64
 }
 
+// snapshot captures the counters Measure diffs.
+type snapshot struct {
+	at      Time
+	cpu     sim.CPUStats
+	members []memberSnap
+}
+
 func (sys *System) snap() snapshot {
-	var full, part uint64
-	for gi := 0; gi < sys.a.Groups(); gi++ {
-		st := sys.a.Group(gi).Stats()
-		full += st.FullStripeWrites
-		part += st.PartialStripeWrites
+	sn := snapshot{at: sys.s.Now(), cpu: sys.s.CPU()}
+	for _, m := range sys.members {
+		var full, part uint64
+		for gi := 0; gi < m.a.Groups(); gi++ {
+			st := m.a.Group(gi).Stats()
+			full += st.FullStripeWrites
+			part += st.PartialStripeWrites
+		}
+		sn.members = append(sn.members, memberSnap{
+			ops:         m.opsDone,
+			blocks:      m.blocksW,
+			stalls:      m.stalls,
+			stallT:      m.stallTime,
+			lat:         m.lat.Clone(),
+			cps:         m.a.CPCount(),
+			fullStripes: full,
+			partStripes: part,
+		})
 	}
-	return snapshot{
-		at:          sys.s.Now(),
-		cpu:         sys.s.CPU(),
-		ops:         sys.opsDone,
-		blocks:      sys.blocksW,
-		stalls:      sys.stalls,
-		stallT:      sys.stallTime,
-		latIdx:      len(sys.latencies),
-		cps:         sys.a.CPCount(),
-		fullStripes: full,
-		partStripes: part,
-	}
+	return sn
 }
 
 // Measure runs the simulation for warmup, then for window, and returns the
-// metrics over the window.
+// cluster-wide metrics over the window.
 func (sys *System) Measure(warmup, window Duration) Results {
 	sys.Run(warmup)
 	start := sys.snap()
 	sys.Run(window)
 	end := sys.snap()
-	return sys.diff(start, end)
+	return MergeResults(sys.memberDiffs(start, end))
 }
 
-func (sys *System) diff(start, end snapshot) Results {
+// MeasureMembers runs the simulation for warmup, then for window, and
+// returns one Results per member over the window. MergeResults combines
+// them into the cluster-wide view Measure would have returned.
+func (sys *System) MeasureMembers(warmup, window Duration) []Results {
+	sys.Run(warmup)
+	start := sys.snap()
+	sys.Run(window)
+	end := sys.snap()
+	return sys.memberDiffs(start, end)
+}
+
+// memberDiffs converts a pair of snapshots into per-member window Results.
+// Core usage is cluster-wide (the CPU pool is shared; per-member
+// attribution is not available), so every part carries the same CoreUsage
+// and MergeResults' event-weighted average recovers it.
+func (sys *System) memberDiffs(start, end snapshot) []Results {
 	wall := Duration(end.at - start.at)
-	r := Results{
-		Window:    wall,
-		Ops:       end.ops - start.ops,
-		Blocks:    end.blocks - start.blocks,
-		CPs:       end.cps - start.cps,
-		Stalls:    end.stalls - start.stalls,
-		StallTime: end.stallT - start.stallT,
-		Cleaners:  sys.pool.Active(),
-	}
-	secs := wall.Seconds()
-	if secs > 0 {
-		r.OpsPerSec = float64(r.Ops) / secs
-		r.MBPerSec = float64(r.Blocks) * 4096 / (1 << 20) / secs
-	}
-	r.Cores = CoreUsage{
+	cores := CoreUsage{
 		Client:    end.cpu.Cores(start.cpu, sim.CatClient),
 		Waffinity: end.cpu.Cores(start.cpu, sim.CatWaffinity),
 		Cleaner:   end.cpu.Cores(start.cpu, sim.CatCleaner),
@@ -131,25 +154,115 @@ func (sys *System) diff(start, end snapshot) Results {
 		RAID:      end.cpu.Cores(start.cpu, sim.CatRAID),
 		Other:     end.cpu.Cores(start.cpu, sim.CatOther),
 	}
-	lats := sys.latencies[start.latIdx:end.latIdx]
-	if len(lats) > 0 {
-		sorted := make([]Duration, len(lats))
-		copy(sorted, lats)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		var sum Duration
-		for _, l := range sorted {
-			sum += l
+	out := make([]Results, len(sys.members))
+	for i, m := range sys.members {
+		ms, me := start.members[i], end.members[i]
+		r := Results{
+			Window:    wall,
+			Ops:       me.ops - ms.ops,
+			Blocks:    me.blocks - ms.blocks,
+			CPs:       me.cps - ms.cps,
+			Stalls:    me.stalls - ms.stalls,
+			StallTime: me.stallT - ms.stallT,
+			Cores:     cores,
+			Cleaners:  m.pool.Active(),
 		}
-		r.LatAvg = sum / Duration(len(sorted))
-		r.LatP50 = sorted[len(sorted)*50/100]
-		r.LatP90 = sorted[len(sorted)*90/100]
-		r.LatP99 = sorted[len(sorted)*99/100]
-		r.LatMax = sorted[len(sorted)-1]
+		secs := wall.Seconds()
+		if secs > 0 {
+			r.OpsPerSec = float64(r.Ops) / secs
+			r.MBPerSec = float64(r.Blocks) * 4096 / (1 << 20) / secs
+		}
+		d := me.lat.Delta(ms.lat)
+		r.lat = d
+		if d.Count > 0 {
+			r.LatAvg = Duration(d.Mean())
+			r.LatP50 = Duration(d.Quantile(0.50))
+			r.LatP90 = Duration(d.Quantile(0.90))
+			r.LatP99 = Duration(d.Quantile(0.99))
+			r.LatMax = Duration(d.Max)
+		}
+		dFull := me.fullStripes - ms.fullStripes
+		dPart := me.partStripes - ms.partStripes
+		if dFull+dPart > 0 {
+			r.FullStripe = float64(dFull) / float64(dFull+dPart)
+		}
+		out[i] = r
 	}
-	dFull := end.fullStripes - start.fullStripes
-	dPart := end.partStripes - start.partStripes
-	if dFull+dPart > 0 {
-		r.FullStripe = float64(dFull) / float64(dFull+dPart)
+	return out
+}
+
+// MergeResults combines per-member window Results into one cluster-wide
+// Results. Ops, Blocks, CPs, Stalls, StallTime, and Cleaners sum exactly;
+// Window is the widest part; core usage is the Ops-weighted average of the
+// parts (each part reports cluster-wide usage, so identical parts merge to
+// the same value, and empty windows carry no weight); FullStripe is
+// Blocks-weighted; latency statistics come from the merged histograms.
+// Rates (OpsPerSec, MBPerSec) are recomputed from the summed totals over
+// the merged window. An empty slice merges to the zero Results.
+func MergeResults(parts []Results) Results {
+	var r Results
+	if len(parts) == 0 {
+		return r
+	}
+	lat := obs.NewHistogram("client.lat")
+	var coreW float64
+	var cores [7]float64
+	var stripeW float64
+	var fullFrac float64
+	for _, p := range parts {
+		r.Ops += p.Ops
+		r.Blocks += p.Blocks
+		r.CPs += p.CPs
+		r.Stalls += p.Stalls
+		r.StallTime += p.StallTime
+		r.Cleaners += p.Cleaners
+		if p.Window > r.Window {
+			r.Window = p.Window
+		}
+		w := float64(p.Ops)
+		coreW += w
+		for i, v := range [7]float64{p.Cores.Client, p.Cores.Waffinity, p.Cores.Cleaner,
+			p.Cores.Infra, p.Cores.CP, p.Cores.RAID, p.Cores.Other} {
+			cores[i] += w * v
+		}
+		stripeW += float64(p.Blocks)
+		fullFrac += float64(p.Blocks) * p.FullStripe
+		lat.Merge(p.lat)
+	}
+	if coreW > 0 {
+		r.Cores = CoreUsage{
+			Client: cores[0] / coreW, Waffinity: cores[1] / coreW,
+			Cleaner: cores[2] / coreW, Infra: cores[3] / coreW,
+			CP: cores[4] / coreW, RAID: cores[5] / coreW, Other: cores[6] / coreW,
+		}
+	} else {
+		// No events anywhere: fall back to the unweighted average so a
+		// fully idle cluster still reports its (shared) core usage.
+		for _, p := range parts {
+			r.Cores.Client += p.Cores.Client / float64(len(parts))
+			r.Cores.Waffinity += p.Cores.Waffinity / float64(len(parts))
+			r.Cores.Cleaner += p.Cores.Cleaner / float64(len(parts))
+			r.Cores.Infra += p.Cores.Infra / float64(len(parts))
+			r.Cores.CP += p.Cores.CP / float64(len(parts))
+			r.Cores.RAID += p.Cores.RAID / float64(len(parts))
+			r.Cores.Other += p.Cores.Other / float64(len(parts))
+		}
+	}
+	if stripeW > 0 {
+		r.FullStripe = fullFrac / stripeW
+	}
+	secs := r.Window.Seconds()
+	if secs > 0 {
+		r.OpsPerSec = float64(r.Ops) / secs
+		r.MBPerSec = float64(r.Blocks) * 4096 / (1 << 20) / secs
+	}
+	r.lat = lat
+	if lat.Count > 0 {
+		r.LatAvg = Duration(lat.Mean())
+		r.LatP50 = Duration(lat.Quantile(0.50))
+		r.LatP90 = Duration(lat.Quantile(0.90))
+		r.LatP99 = Duration(lat.Quantile(0.99))
+		r.LatMax = Duration(lat.Max)
 	}
 	return r
 }
@@ -158,7 +271,7 @@ func (sys *System) diff(start, end snapshot) Results {
 // duration, and the split between the cleaning phase and the metafile
 // phases (the CP "tail" that no cleaner parallelism can hide).
 func (sys *System) CPReport() string {
-	st := sys.engine.Stats()
+	st := sys.CPStats()
 	if st.CPs == 0 {
 		return "no CPs"
 	}
@@ -173,15 +286,19 @@ func (sys *System) CPReport() string {
 // snapshots reclaimed, and physical blocks returned to the aggregate free
 // pool by snapshot deletes.
 func (sys *System) SnapStats() (created, deleted, reclaimedBlocks uint64) {
-	st := sys.engine.Stats()
+	st := sys.CPStats()
 	return st.SnapsCreated, st.SnapsDeleted, st.SnapReclaimed
 }
 
-// CleanerJobStats returns the cleaner pool's cumulative job and batch
+// CleanerJobStats returns the cleaner pools' cumulative job and batch
 // counts (equal unless batched inode cleaning merged jobs).
 func (sys *System) CleanerJobStats() (jobs, batches uint64) {
-	st := sys.pool.Stats()
-	return st.JobsRun, st.BatchesRun
+	for _, m := range sys.members {
+		st := m.pool.Stats()
+		jobs += st.JobsRun
+		batches += st.BatchesRun
+	}
+	return jobs, batches
 }
 
 // InfraStats exposes the allocator infrastructure counters.
@@ -192,8 +309,15 @@ func (sys *System) InfraStats() interface{ String() string } {
 type infraStatsView struct{ sys *System }
 
 func (v infraStatsView) String() string {
-	st := v.sys.in.Stats()
-	ps := v.sys.pool.Stats()
+	st := v.sys.Counters()
+	var ps struct{ JobsRun, BatchesRun, BuffersCleaned, FilesSplit uint64 }
+	for _, m := range v.sys.members {
+		s := m.pool.Stats()
+		ps.JobsRun += s.JobsRun
+		ps.BatchesRun += s.BatchesRun
+		ps.BuffersCleaned += s.BuffersCleaned
+		ps.FilesSplit += s.FilesSplit
+	}
 	return fmt.Sprintf(
 		"buckets filled=%d committed=%d vbuckets=%d/%d tetris=%d (%d blk) stagemsgs=%d frees=%d fillwords=%d vfillwords=%d getwaits=%d | jobs=%d batches=%d buffers=%d splits=%d",
 		st.BucketsFilled, st.BucketsCommitted, st.VBucketsFilled, st.VBucketsCommitted,

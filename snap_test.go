@@ -364,7 +364,7 @@ func TestFsckFlagsOwnerlessSummaryBit(t *testing.T) {
 	}
 
 	// Pick a VVBN in the summary file's first block that nothing owns.
-	v := sys.a.Volume(0)
+	v := sys.m0().a.Volume(0)
 	limit := v.VVBNBlocks()
 	if limit > block.Size*8 {
 		limit = block.Size * 8
@@ -388,7 +388,7 @@ func TestFsckFlagsOwnerlessSummaryBit(t *testing.T) {
 	}
 	vbn := f.RootVBN
 	for level := f.Height(); level > 0; level-- {
-		data := sys.a.ReadVBNRaw(vbn)
+		data := sys.m0().a.ReadVBNRaw(vbn)
 		if data == nil {
 			t.Fatal("summary tree unreadable")
 		}
@@ -398,8 +398,8 @@ func TestFsckFlagsOwnerlessSummaryBit(t *testing.T) {
 		}
 		vbn = cvbn
 	}
-	g, d, dbn := sys.a.Geometry().Locate(vbn)
-	media := sys.a.Group(g).Drive(d).Peek(dbn)
+	g, d, dbn := sys.m0().a.Geometry().Locate(vbn)
+	media := sys.m0().a.Group(g).Drive(d).Peek(dbn)
 	media[target/8] |= 1 << (target % 8)
 
 	rep := sys.Fsck()
@@ -432,7 +432,7 @@ func TestSnapshotReclaimWithSameCPFileDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	v := sys.a.Volume(0)
+	v := sys.m0().a.Volume(0)
 	snapID := v.RequestSnapshot()
 	if err := sys.Flush(); err != nil { // materialize: snapshot holds ino's blocks
 		t.Fatal(err)

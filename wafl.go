@@ -3,14 +3,21 @@
 // Write Allocation in the WAFL File System", Curtis-Maury, Kesavan &
 // Bhattacharjee, ICPP 2017).
 //
-// A System is a complete simulated storage server: a many-core CPU model, a
-// RAID aggregate with FlexVol volumes, an NVRAM operation log, a
-// Hierarchical Waffinity message scheduler, the White Alligator write
-// allocation infrastructure with its pool of parallel cleaner threads, and
-// a consistency-point engine. Client workloads drive it through
-// ClientThread sessions; Measure reports throughput, latency, and
-// per-component simulated core usage — the same metrics the paper's
-// instrumented kernels report.
+// A System is a complete simulated storage server: a many-core CPU model,
+// one or more cluster Members — each a RAID aggregate with FlexVol
+// volumes, an NVRAM log partition, a Hierarchical Waffinity message
+// scheduler, the White Alligator write allocation infrastructure with its
+// pool of parallel cleaner threads, and a consistency-point engine — and a
+// FlexGroup-style router that stripes files and volumes across members.
+// Client workloads drive it through ClientThread sessions; Measure reports
+// throughput, latency, and per-component simulated core usage — the same
+// metrics the paper's instrumented kernels report.
+//
+// With Config.Members <= 1 the System is a single aggregate, bit-identical
+// to the pre-cluster code. With N members, volumes are addressed by a
+// global index (member = vol / Config.Volumes), file handles embed their
+// owning constituent id (routing is stateless after create), and each
+// member keeps its own CP cadence and crash domain.
 //
 // Quick start:
 //
@@ -28,17 +35,16 @@ package wafl
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"wafl/internal/aggregate"
 	"wafl/internal/block"
 	"wafl/internal/core"
 	"wafl/internal/cp"
 	"wafl/internal/faultinject"
-	"wafl/internal/nvlog"
 	"wafl/internal/obs"
 	"wafl/internal/sim"
 	"wafl/internal/storage"
-	"wafl/internal/waffinity"
 )
 
 // Re-exported simulation types, so library users never import internal
@@ -117,24 +123,33 @@ func (d DriveClass) profile() storage.Profile {
 
 // Config describes a simulated storage server.
 type Config struct {
-	// Cores is the simulated CPU count (the paper's testbeds have 20).
+	// Cores is the simulated CPU count per member (the paper's testbeds
+	// have 20); a cluster models Cores × Members cores in total.
 	Cores int
 	// Seed drives all simulation randomness; same seed, same run.
 	Seed int64
 
-	// Aggregate geometry.
+	// Members is the cluster width: the number of constituent aggregates
+	// the namespace is striped across. 0 or 1 selects a single-member
+	// system, bit-identical to the pre-cluster single-aggregate code.
+	// Every member gets its own aggregate (the geometry below), its own
+	// Volumes volumes, and its own NVRAM log partition; volumes are
+	// addressed globally as member*Volumes + localVol.
+	Members int
+
+	// Aggregate geometry (per member).
 	Drives      DriveClass
 	RAIDGroups  int
 	DataDrives  int // per group, excluding parity
 	DriveBlocks uint64
 	AAStripes   uint64
 
-	// Volumes.
+	// Volumes (per member).
 	Volumes      int
 	VolumeBlocks uint64
 
-	// NVRAMHalfBytes sizes each NVRAM log half; the CP cadence follows
-	// from it.
+	// NVRAMHalfBytes sizes each NVRAM log half (per member); the CP
+	// cadence follows from it.
 	NVRAMHalfBytes uint64
 	// CPTriggerFullness starts a CP when the active half passes this
 	// fraction.
@@ -166,6 +181,7 @@ type Config struct {
 	// Faults configures deterministic drive-fault injection (crash-schedule
 	// testing). The zero value disables every fault arm; injection never
 	// runs during initial format, so a fresh System is always mountable.
+	// Each member gets its own injector wired to its own drives.
 	Faults FaultConfig
 
 	Allocator AllocatorOptions
@@ -174,11 +190,13 @@ type Config struct {
 }
 
 // DefaultConfig returns a configuration modelling the paper's mid-range
-// testbed: 20 cores, an all-SSD aggregate of two RAID groups, four volumes.
+// testbed: 20 cores, an all-SSD aggregate of two RAID groups, four volumes,
+// one member.
 func DefaultConfig() Config {
 	return Config{
 		Cores:             20,
 		Seed:              1,
+		Members:           1,
 		Drives:            SSD,
 		RAIDGroups:        2,
 		DataDrives:        4,
@@ -198,29 +216,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// System is a running simulated storage server.
+// System is a running simulated storage server: a cluster of one or more
+// Members sharing one discrete-event scheduler, fronted by a router that
+// stripes the namespace across them.
 type System struct {
-	cfg    Config
-	s      *sim.Scheduler
-	w      *waffinity.Scheduler
-	h      *waffinity.Hierarchy
-	a      *aggregate.Aggregate
-	in     *core.Infra
-	pool   *core.Pool
-	engine *cp.Engine
-	log    *nvlog.Log
-	tuner  *core.Tuner
-	inj    *faultinject.Injector // nil unless Config.Faults enables an arm
+	cfg     Config
+	s       *sim.Scheduler
+	members []*Member
 
 	clients    []*ClientCtx
 	threadMark int // first sim thread belonging to this System
 	stopped    bool
-	opsDone    uint64
-	blocksW    uint64
-	blocksR    uint64
-	stalls     uint64
-	stallTime  sim.Duration
-	latencies  []sim.Duration
 }
 
 // NewSystem builds and formats a simulated storage server.
@@ -228,59 +234,144 @@ func NewSystem(cfg Config) (*System, error) {
 	if cfg.Cores < 1 {
 		return nil, fmt.Errorf("wafl: need at least one core")
 	}
-	s := sim.New(cfg.Cores, cfg.Seed)
+	if cfg.Members < 0 || cfg.Members >= 1<<16 {
+		return nil, fmt.Errorf("wafl: Members must be in [0, 65535], got %d", cfg.Members)
+	}
+	if cfg.Members < 1 {
+		cfg.Members = 1
+	}
+	s := sim.New(cfg.Cores*cfg.Members, cfg.Seed)
 	if cfg.Trace {
 		s.SetTracer(obs.New(obs.Options{Capacity: cfg.TraceEvents}))
 	}
-	threadMark := s.ThreadMark()
-	w := waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
-	h := waffinity.NewHierarchy(w, waffinity.HierarchyConfig{
-		Aggregates:    1,
-		VolumesPerAgg: cfg.Volumes,
-		StripesPerVol: cfg.StripesPerVolume,
-		RangesPerVBN:  cfg.RangesPerVBN,
-	})
-	a, err := aggregate.New(s, aggregate.Config{
-		Geometry: aggregate.Geometry{
-			NumGroups:  cfg.RAIDGroups,
-			DataDrives: cfg.DataDrives,
-			Depth:      block.DBN(cfg.DriveBlocks),
-			AAStripes:  block.DBN(cfg.AAStripes),
-		},
-		Profile: cfg.Drives.profile(),
-	})
-	if err != nil {
-		return nil, err
+	sys := &System{cfg: cfg, s: s, threadMark: s.ThreadMark()}
+	for i := 0; i < cfg.Members; i++ {
+		m, err := buildMember(sys, i)
+		if err != nil {
+			return nil, err
+		}
+		sys.members = append(sys.members, m)
 	}
-	for i := 0; i < cfg.Volumes; i++ {
-		a.AddVolume(cfg.VolumeBlocks)
+	// Commit an initial (empty) CP on every member so the media always
+	// carries a valid superblock — a freshly formatted system must be
+	// mountable even if it crashes before any client-triggered CP.
+	for _, m := range sys.members {
+		m.engine.RequestCP()
 	}
-	in := core.NewInfra(w, h, a, cfg.Allocator, cfg.Costs)
-	pool := core.NewPool(in, cfg.Allocator, cfg.Costs)
-	log := nvlog.New(cfg.NVRAMHalfBytes)
-	engine := cp.New(w, h, a, in, pool, log, cfg.Allocator, cfg.Costs)
-	sys := &System{cfg: cfg, s: s, w: w, h: h, a: a, in: in, pool: pool, engine: engine, log: log, threadMark: threadMark}
-	if cfg.Allocator.Dynamic {
-		sys.tuner = core.StartTuner(pool, cfg.Tuner)
-	}
-	// Commit an initial (empty) CP so the media always carries a valid
-	// superblock — a freshly formatted system must be mountable even if it
-	// crashes before any client-triggered CP.
-	engine.RequestCP()
-	for i := 0; i < 100 && a.CPCount() == 0; i++ {
+	for i := 0; i < 100 && !sys.allFormatted(); i++ {
 		s.RunFor(10 * sim.Millisecond)
 	}
-	if a.CPCount() == 0 {
+	if !sys.allFormatted() {
 		return nil, fmt.Errorf("wafl: initial consistency point did not complete")
 	}
 	// Wire fault injection only after the initial format committed: a
 	// fresh system must always be mountable. The wiring point is fixed, so
 	// identical configs still yield identical event streams.
 	if cfg.Faults.Enabled() {
-		sys.inj = faultinject.New(cfg.Faults)
-		a.SetInjector(sys.inj)
+		for _, m := range sys.members {
+			m.inj = faultinject.New(cfg.Faults)
+			m.a.SetInjector(m.inj)
+		}
 	}
 	return sys, nil
+}
+
+// allFormatted reports whether every member has committed its initial CP.
+func (sys *System) allFormatted() bool {
+	for _, m := range sys.members {
+		if m.a.CPCount() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the cluster width (the number of constituent
+// aggregates).
+func (sys *System) Members() int { return len(sys.members) }
+
+// TotalVolumes returns the number of globally addressable volumes:
+// Config.Volumes per member times the cluster width.
+func (sys *System) TotalVolumes() int { return sys.cfg.Volumes * len(sys.members) }
+
+// MemberInfo is a point-in-time summary of one cluster member, for
+// monitoring tools (wafltop's per-member section).
+type MemberInfo struct {
+	ID            int
+	Ops           uint64  // cumulative client ops served by this member
+	Blocks        uint64  // cumulative blocks written
+	CPs           uint64  // completed consistency points
+	NVLogFullness float64 // active NVRAM half fullness [0, 1]
+	FreeBlocks    int64   // allocatable VVBNs across the member's volumes
+	Cleaners      int     // active cleaner threads
+	Crashed       bool
+}
+
+// MemberInfo returns the current summary of member i.
+func (sys *System) MemberInfo(i int) MemberInfo {
+	m := sys.members[i]
+	var free int64
+	for v := 0; v < sys.cfg.Volumes; v++ {
+		free += m.in.VolFree(v)
+	}
+	return MemberInfo{
+		ID:            m.id,
+		Ops:           m.opsDone,
+		Blocks:        m.blocksW,
+		CPs:           m.a.CPCount(),
+		NVLogFullness: m.log.Fullness(),
+		FreeBlocks:    free,
+		Cleaners:      m.pool.Active(),
+		Crashed:       m.crashed,
+	}
+}
+
+// placementLogPenalty weighs NVRAM occupancy against free-space fraction
+// in the placement score: a member whose log is nearly full (a CP is
+// imminent and incoming ops may stall) is penalized as if it had that much
+// less free space.
+const placementLogPenalty = 0.5
+
+// PlaceFile picks the best member for a new file of up to sizeBlocks
+// blocks — deterministic, capacity- and load-aware — and returns a global
+// volume index on it. The score combines the member's allocatable-block
+// fraction (from the hierarchical free-space index counters, net of ingest
+// reservations) with its NVRAM log occupancy; ties break toward the lowest
+// member id, and within the chosen member the volume with the most
+// reservation-adjusted free space wins.
+//
+// Each placement charges sizeBlocks against the chosen volume as an ingest
+// reservation, so a burst of placements on an idle cluster stripes across
+// members instead of piling onto whichever one happened to score first:
+// the free-space counters only move once the placed files are written, and
+// the reservation stands in for that forthcoming usage.
+func (sys *System) PlaceFile(sizeBlocks uint64) int {
+	best, bestScore := 0, -1.0e300
+	capacity := float64(sys.cfg.Volumes) * float64(sys.cfg.VolumeBlocks)
+	for i, m := range sys.members {
+		if m.crashed {
+			continue
+		}
+		var free int64
+		for v := 0; v < sys.cfg.Volumes; v++ {
+			if f := m.in.VolFree(v) - m.reserved[v]; f > 0 {
+				free += f
+			}
+		}
+		score := float64(free)/capacity - placementLogPenalty*m.log.Fullness()
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	m := sys.members[best]
+	bestVol, bestFree := 0, int64(-1<<62)
+	for v := 0; v < sys.cfg.Volumes; v++ {
+		if f := m.in.VolFree(v) - m.reserved[v]; f > bestFree {
+			bestVol, bestFree = v, f
+		}
+	}
+	m.reserved[bestVol] += int64(sizeBlocks)
+	return best*sys.cfg.Volumes + bestVol
 }
 
 // Run advances the simulation by d.
@@ -314,33 +405,61 @@ func (sys *System) Halted() bool { return sys.s.Halted() }
 
 // SetCPPhaseHook installs fn to be called at every CP phase boundary
 // ("start", "clean", "records", "metafiles", "voltable", "amap", "commit",
-// "post-commit", "done"). Returning true halts the scheduler at that
-// boundary — pair with Crash for phase-targeted crash tests. A hook that
-// returns false has no effect on the simulation.
+// "post-commit", "done") on every member. Returning true halts the
+// scheduler at that boundary — pair with Crash for phase-targeted crash
+// tests. A hook that returns false has no effect on the simulation.
 func (sys *System) SetCPPhaseHook(fn func(phase string) bool) {
-	sys.engine.SetPhaseHook(fn)
+	for _, m := range sys.members {
+		m.engine.SetPhaseHook(fn)
+	}
 }
 
 // FileExists reports whether ino exists (and is not deleted) on vol.
 func (sys *System) FileExists(vol int, ino uint64) bool {
-	return sys.a.Volume(vol).LookupFile(ino) != nil
+	m, lv, li := sys.resolve(vol, ino)
+	return m.a.Volume(lv).LookupFile(li) != nil
 }
 
-// Injector returns the wired fault injector, or nil when Config.Faults is
-// zero. Use it to install persistent per-block read errors (FailBlock).
-func (sys *System) Injector() *faultinject.Injector { return sys.inj }
+// Injector returns member 0's wired fault injector, or nil when
+// Config.Faults is zero. Use it to install persistent per-block read
+// errors (FailBlock); for other members use MemberInjector.
+func (sys *System) Injector() *faultinject.Injector { return sys.members[0].inj }
 
-// FaultStats returns a snapshot of fault-injection decisions (zero when
-// injection is off).
+// MemberInjector returns member i's fault injector (nil when faults are
+// off).
+func (sys *System) MemberInjector(i int) *faultinject.Injector { return sys.members[i].inj }
+
+// FaultStats returns a cluster-wide snapshot of fault-injection decisions,
+// summed across members (zero when injection is off).
 func (sys *System) FaultStats() FaultStats {
-	if sys.inj == nil {
-		return FaultStats{}
+	var t FaultStats
+	for _, m := range sys.members {
+		if m.inj == nil {
+			continue
+		}
+		st := m.inj.Stats()
+		t.WritesSeen += st.WritesSeen
+		t.ReadsSeen += st.ReadsSeen
+		t.PeeksSeen += st.PeeksSeen
+		t.TornPlanned += st.TornPlanned
+		t.Dropped += st.Dropped
+		t.Delayed += st.Delayed
+		t.PeekErrs += st.PeekErrs
 	}
-	return sys.inj.Stats()
+	return t
 }
 
-// RepairStats returns the raw-read-path fault-repair counters.
-func (sys *System) RepairStats() RepairStats { return sys.a.Repairs() }
+// RepairStats returns the raw-read-path fault-repair counters, summed
+// across members.
+func (sys *System) RepairStats() RepairStats {
+	var t RepairStats
+	for _, m := range sys.members {
+		st := m.a.Repairs()
+		t.Retries += st.Retries
+		t.Reconstructs += st.Reconstructs
+	}
+	return t
+}
 
 // Shutdown terminates every simulated thread so the whole system becomes
 // garbage-collectable. Call it when done with a System (experiment harness
@@ -349,8 +468,10 @@ func (sys *System) RepairStats() RepairStats { return sys.a.Repairs() }
 // shares the scheduler).
 func (sys *System) Shutdown() {
 	sys.stopped = true
-	if sys.tuner != nil {
-		sys.tuner.Stop()
+	for _, m := range sys.members {
+		if m.tuner != nil {
+			m.tuner.Stop()
+		}
 	}
 	sys.s.Shutdown()
 }
@@ -377,37 +498,64 @@ func (sys *System) TraceReport() string {
 // Stop makes client loops exit at their next Alive check.
 func (sys *System) Stop() { sys.stopped = true }
 
-// ActiveCleaners returns the current active cleaner-thread count.
-func (sys *System) ActiveCleaners() int { return sys.pool.Active() }
+// ActiveCleaners returns the current active cleaner-thread count, summed
+// across members.
+func (sys *System) ActiveCleaners() int {
+	n := 0
+	for _, m := range sys.members {
+		n += m.pool.Active()
+	}
+	return n
+}
 
-// CPCount returns the number of completed consistency points.
-func (sys *System) CPCount() uint64 { return sys.a.CPCount() }
+// CPCount returns the number of completed consistency points, summed
+// across members.
+func (sys *System) CPCount() uint64 {
+	var n uint64
+	for _, m := range sys.members {
+		n += m.a.CPCount()
+	}
+	return n
+}
 
-// AggrFreeBlocks returns the loosely-accounted aggregate free-block count.
-func (sys *System) AggrFreeBlocks() int64 { return sys.in.AggrFree() }
+// AggrFreeBlocks returns the loosely-accounted aggregate free-block count,
+// summed across members.
+func (sys *System) AggrFreeBlocks() int64 {
+	var n int64
+	for _, m := range sys.members {
+		n += m.in.AggrFree()
+	}
+	return n
+}
 
-// TunerSamples returns the dynamic tuner's decision trace (nil when the
-// tuner is off).
+// TunerSamples returns member 0's dynamic tuner decision trace (nil when
+// the tuner is off).
 func (sys *System) TunerSamples() []core.TunerSample {
-	if sys.tuner == nil {
+	if sys.members[0].tuner == nil {
 		return nil
 	}
-	return sys.tuner.Samples
+	return sys.members[0].tuner.Samples
 }
 
-// Hierarchy renders the Waffinity affinity tree.
-func (sys *System) Hierarchy() string { return sys.h.String() }
+// Hierarchy renders the Waffinity affinity trees of all members.
+func (sys *System) Hierarchy() string {
+	if len(sys.members) == 1 {
+		return sys.members[0].h.String()
+	}
+	var b strings.Builder
+	for _, m := range sys.members {
+		fmt.Fprintf(&b, "member %d:\n%s", m.id, m.h.String())
+	}
+	return b.String()
+}
 
-// maybeTriggerCP starts a CP when the active NVRAM half passes the
-// configured threshold.
-func (sys *System) maybeTriggerCP() {
-	if sys.log.Fullness() >= sys.cfg.CPTriggerFullness && !sys.log.HasFrozen() {
-		sys.engine.RequestCP()
+// ForceCP requests a consistency point on every member and returns
+// immediately.
+func (sys *System) ForceCP() {
+	for _, m := range sys.members {
+		m.engine.RequestCP()
 	}
 }
-
-// ForceCP requests a consistency point and returns immediately.
-func (sys *System) ForceCP() { sys.engine.RequestCP() }
 
 // Prewrite populates a file directly — no client protocol, no NVRAM — to
 // age the file system before a measurement. With shuffle the blocks are
@@ -416,8 +564,9 @@ func (sys *System) ForceCP() { sys.engine.RequestCP() }
 // (the aged state a long-running random-write workload converges to).
 // Call Flush afterwards to push the blocks to storage.
 func (sys *System) Prewrite(vol int, ino uint64, blocks uint64, shuffle bool) {
-	v := sys.a.Volume(vol)
-	f := v.LookupFile(ino)
+	m, lv, li := sys.resolve(vol, ino)
+	v := m.a.Volume(lv)
+	f := v.LookupFile(li)
 	if f == nil {
 		panic(fmt.Sprintf("wafl: Prewrite of unknown ino %d", ino))
 	}
@@ -440,8 +589,9 @@ func (sys *System) Prewrite(vol int, ino uint64, blocks uint64, shuffle bool) {
 // way months of production churn would. Call Flush between rounds so each
 // round's frees land before the next scatters more.
 func (sys *System) AgeOverwrite(vol int, ino uint64, n int, span uint64) {
-	v := sys.a.Volume(vol)
-	f := v.LookupFile(ino)
+	m, lv, li := sys.resolve(vol, ino)
+	v := m.a.Volume(lv)
+	f := v.LookupFile(li)
 	if f == nil {
 		panic(fmt.Sprintf("wafl: AgeOverwrite of unknown ino %d", ino))
 	}
@@ -463,81 +613,178 @@ func (sys *System) AgeOverwrite(vol int, ino uint64, n int, span uint64) {
 // SnapCreateDirect queues a snapshot create without logging or timing
 // (benchmark setup); the next CP — e.g. a Flush — materializes it.
 func (sys *System) SnapCreateDirect(vol int) uint64 {
-	return sys.a.Volume(vol).RequestSnapshot()
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).RequestSnapshot()
 }
 
 // SnapDeleteDirect removes a snapshot without logging or timing (benchmark
 // setup); the next CP reclaims its exclusively-held blocks.
 func (sys *System) SnapDeleteDirect(vol int, id uint64) bool {
-	return sys.a.Volume(vol).DeleteSnapshot(id)
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).DeleteSnapshot(id)
 }
 
 // InfraCounters is the allocator infrastructure's cumulative counter set.
 type InfraCounters = core.InfraStats
 
 // Counters returns a snapshot of the infrastructure counters for metric
-// diffing around a measurement window (FillWords, GetWaits, ...).
-func (sys *System) Counters() InfraCounters { return sys.in.Stats() }
+// diffing around a measurement window (FillWords, GetWaits, ...), summed
+// across members.
+func (sys *System) Counters() InfraCounters {
+	if len(sys.members) == 1 {
+		return sys.members[0].in.Stats()
+	}
+	var t InfraCounters
+	for _, m := range sys.members {
+		st := m.in.Stats()
+		t.BucketsFilled += st.BucketsFilled
+		t.BucketsCommitted += st.BucketsCommitted
+		t.VBucketsFilled += st.VBucketsFilled
+		t.VBucketsCommitted += st.VBucketsCommitted
+		t.StageCommitMsgs += st.StageCommitMsgs
+		t.FreesCommitted += st.FreesCommitted
+		t.TetrisesSent += st.TetrisesSent
+		t.TetrisBlocks += st.TetrisBlocks
+		t.FillWords += st.FillWords
+		t.VFillWords += st.VFillWords
+		t.GetWaits += st.GetWaits
+		t.WindowsSkipped += st.WindowsSkipped
+	}
+	return t
+}
 
 // CPStats is the consistency-point engine's cumulative counter set.
 type CPStats = cp.Stats
 
 // CPStats returns a snapshot of the CP engine counters for metric diffing
-// around a measurement window (TotalDuration, BackToBack, ...).
-func (sys *System) CPStats() CPStats { return sys.engine.Stats() }
+// around a measurement window (TotalDuration, BackToBack, ...). For a
+// cluster the counters and durations sum across members; LastDuration and
+// LongestDuration take the maximum.
+func (sys *System) CPStats() CPStats {
+	if len(sys.members) == 1 {
+		return sys.members[0].engine.Stats()
+	}
+	var t CPStats
+	for _, m := range sys.members {
+		st := m.engine.Stats()
+		t.CPs += st.CPs
+		t.InodesCleaned += st.InodesCleaned
+		t.RecordsWritten += st.RecordsWritten
+		t.ZombiesReaped += st.ZombiesReaped
+		t.SnapsCreated += st.SnapsCreated
+		t.SnapsDeleted += st.SnapsDeleted
+		t.SnapReclaimed += st.SnapReclaimed
+		t.AmapWrites += st.AmapWrites
+		t.TotalDuration += st.TotalDuration
+		t.CleanDuration += st.CleanDuration
+		t.MetaDuration += st.MetaDuration
+		t.BackToBack += st.BackToBack
+		if st.LastDuration > t.LastDuration {
+			t.LastDuration = st.LastDuration
+		}
+		if st.LongestDuration > t.LongestDuration {
+			t.LongestDuration = st.LongestDuration
+		}
+	}
+	return t
+}
 
 // CPPhaseReport renders the per-phase CP duration breakdown (p50/p99 per
-// phase) from the engine's always-on histograms.
-func (sys *System) CPPhaseReport() string { return sys.engine.PhaseReport() }
+// phase) from the engines' always-on histograms.
+func (sys *System) CPPhaseReport() string {
+	if len(sys.members) == 1 {
+		return sys.members[0].engine.PhaseReport()
+	}
+	var b strings.Builder
+	for _, m := range sys.members {
+		fmt.Fprintf(&b, "member %d:\n%s", m.id, m.engine.PhaseReport())
+	}
+	return b.String()
+}
 
 // VolFreeBlocks returns the loosely-accounted allocatable-VVBN counter of
-// one volume (free = !active && !summary). After a Quiesce it matches
-// FreeSpaceBreakdown(vol).Free exactly.
-func (sys *System) VolFreeBlocks(vol int) int64 { return sys.in.VolFree(vol) }
+// one (globally addressed) volume (free = !active && !summary). After a
+// Quiesce it matches FreeSpaceBreakdown(vol).Free exactly.
+func (sys *System) VolFreeBlocks(vol int) int64 {
+	m, lv := sys.volMember(vol)
+	return m.in.VolFree(lv)
+}
 
 // SuperblockBytes returns the encoded current superblock — the exact bytes
-// the last commit persisted. Determinism tests compare it across runs as a
-// compact digest of the committed tree.
-func (sys *System) SuperblockBytes() []byte { return sys.a.SuperblockBytes() }
+// the last commit persisted. For a cluster, the members' superblocks are
+// concatenated in member order. Determinism tests compare it across runs
+// as a compact digest of the committed trees.
+func (sys *System) SuperblockBytes() []byte {
+	if len(sys.members) == 1 {
+		return sys.members[0].a.SuperblockBytes()
+	}
+	var out []byte
+	for _, m := range sys.members {
+		out = append(out, m.a.SuperblockBytes()...)
+	}
+	return out
+}
 
-// Flush drives consistency points until all dirty state is persisted,
-// without stopping client threads.
+// Flush drives consistency points until all dirty state is persisted on
+// every member, without stopping client threads.
 func (sys *System) Flush() error {
 	for i := 0; i < 8; i++ {
-		sys.engine.RequestCP()
-		sys.Run(2 * Second)
-		clean := sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() && !sys.engine.Running()
-		for _, v := range sys.a.Volumes() {
-			if v.DirtyFiles() > 0 || !v.SnapshotsQuiescent() {
-				clean = false
-			}
+		for _, m := range sys.members {
+			m.engine.RequestCP()
 		}
-		if clean {
+		sys.Run(2 * Second)
+		if sys.allClean() {
 			return nil
 		}
 	}
-	return fmt.Errorf("wafl: system did not flush (log ops=%d, frozen=%v)",
-		sys.log.ActiveOps(), sys.log.HasFrozen())
+	m := sys.dirtiest()
+	return fmt.Errorf("wafl: system did not flush (member %d: log ops=%d, frozen=%v)",
+		m.id, m.log.ActiveOps(), m.log.HasFrozen())
 }
 
 // Quiesce stops accepting new client work (clients see Alive() == false)
 // and drives consistency points until every dirty buffer and logged
-// operation has reached persistent storage.
+// operation on every member has reached persistent storage.
 func (sys *System) Quiesce() error {
 	sys.stopped = true
 	for i := 0; i < 8; i++ {
-		sys.engine.RequestCP()
+		for _, m := range sys.members {
+			m.engine.RequestCP()
+		}
 		sys.Run(2 * Second)
-		clean := sys.log.ActiveOps() == 0 && !sys.log.HasFrozen() && !sys.engine.Running()
-		for _, v := range sys.a.Volumes() {
+		if sys.allClean() {
+			return nil
+		}
+	}
+	m := sys.dirtiest()
+	return fmt.Errorf("wafl: system did not quiesce (member %d: log ops=%d, frozen=%v)",
+		m.id, m.log.ActiveOps(), m.log.HasFrozen())
+}
+
+// allClean reports whether every member has no logged ops, no frozen log
+// half, no running CP, no dirty files, and quiescent snapshots.
+func (sys *System) allClean() bool {
+	for _, m := range sys.members {
+		clean := m.log.ActiveOps() == 0 && !m.log.HasFrozen() && !m.engine.Running()
+		for _, v := range m.a.Volumes() {
 			if v.DirtyFiles() > 0 || !v.SnapshotsQuiescent() {
 				clean = false
 			}
 		}
-		if clean {
-			return nil
+		if !clean {
+			return false
 		}
 	}
-	return fmt.Errorf("wafl: system did not quiesce (log ops=%d, frozen=%v)",
-		sys.log.ActiveOps(), sys.log.HasFrozen())
+	return true
+}
+
+// dirtiest returns a member still holding un-flushed state (for error
+// messages), or member 0.
+func (sys *System) dirtiest() *Member {
+	for _, m := range sys.members {
+		if m.log.ActiveOps() != 0 || m.log.HasFrozen() || m.engine.Running() {
+			return m
+		}
+	}
+	return sys.members[0]
 }

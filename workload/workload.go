@@ -104,6 +104,12 @@ type ManyFile struct {
 	OpBlocks   int
 	FileBlocks uint64
 	Volumes    int
+	// Placed selects cluster-aware placement: instead of striping files
+	// round-robin over the first Volumes volumes, every file is placed on
+	// the volume chosen by the system's capacity- and load-aware policy
+	// (wafl.System.PlaceFile), spreading the working set across all
+	// FlexGroup members. With a single member the two are equivalent loads.
+	Placed bool
 }
 
 // DefaultManyFile gives every CP a few hundred dirty inodes per volume.
@@ -114,18 +120,23 @@ func DefaultManyFile() ManyFile {
 // Attach creates the per-client file sets and spawns the client threads.
 func (w ManyFile) Attach(sys *wafl.System) {
 	for i := 0; i < w.Clients; i++ {
-		vol := i % w.Volumes
+		vols := make([]int, w.FilesPer)
 		inos := make([]uint64, w.FilesPer)
 		for f := range inos {
-			inos[f] = sys.CreateFileDirect(vol, w.FileBlocks)
+			if w.Placed {
+				vols[f] = sys.PlaceFile(w.FileBlocks)
+			} else {
+				vols[f] = i % w.Volumes
+			}
+			inos[f] = sys.CreateFileDirect(vols[f], w.FileBlocks)
 		}
 		i := i
 		sys.ClientThread(fmt.Sprintf("manyfile-client-%d", i), func(c *wafl.ClientCtx) {
 			j := 0
 			for c.Alive() {
-				ino := inos[j%w.FilesPer]
+				k := j % w.FilesPer
 				fbn := wafl.FBN(c.Rand(int64(w.FileBlocks) - int64(w.OpBlocks) + 1))
-				c.Write(vol, ino, fbn, w.OpBlocks)
+				c.Write(vols[k], inos[k], fbn, w.OpBlocks)
 				j++
 			}
 		})
