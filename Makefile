@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race racecp bench crashcheck affcheck clustercheck ci clean
+.PHONY: all build test vet race racecp bench crashcheck affcheck clustercheck overloadcheck ci clean
 
 all: build
 
@@ -26,6 +26,7 @@ bench:
 	$(GO) run ./cmd/waflbench -exp agedvol -benchjson BENCH_PR4.json
 	$(GO) run ./cmd/waflbench -exp parallelcp -benchjson BENCH_PR5.json
 	$(GO) run ./cmd/waflbench -exp flexgroup -members 4 -benchjson BENCH_PR6.json
+	$(GO) run ./cmd/waflbench -exp overload -benchjson BENCH_PR7.json
 
 # crashcheck runs the bounded crash-schedule fault-injection sweep: crash at
 # dozens of reproducible points (event indices + CP phase boundaries),
@@ -46,6 +47,13 @@ affcheck:
 	fi; \
 	echo "affcheck OK: Aggrs[] indexed only in member.go"
 
+# overloadcheck runs the open-loop burst study (admission control off vs
+# on) and asserts the SLO contract: without admission the burst drives the
+# latency-sensitive p99.9 into open-loop blowup; with admission the
+# controller sheds bulk load and the latency-sensitive tail stays bounded.
+overloadcheck:
+	$(GO) run ./cmd/waflbench -overloadcheck
+
 # clustercheck runs the bounded multi-member crash sweep: one member of a
 # two-member cluster is crashed at reproducible event indices while the
 # survivor serves traffic, then recovered in place (plus an immediate double
@@ -54,9 +62,9 @@ clustercheck:
 	$(GO) run ./cmd/waflbench -clustersweep -crashpoints 6 -crashseeds 1,2
 
 # ci is the gate run before merging: vet, build, the affinity-access gate,
-# the full test suite under the race detector, and the bounded crash sweeps
-# (whole-node and single-member).
-ci: vet build affcheck race racecp crashcheck clustercheck
+# the full test suite under the race detector, the bounded crash sweeps
+# (whole-node and single-member), and the admission-control SLO check.
+ci: vet build affcheck race racecp crashcheck clustercheck overloadcheck
 
 clean:
 	rm -f wafltop waflbench *.test

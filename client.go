@@ -3,6 +3,7 @@ package wafl
 import (
 	"fmt"
 
+	"wafl/internal/bcache"
 	"wafl/internal/block"
 	"wafl/internal/nvlog"
 	"wafl/internal/obs"
@@ -25,9 +26,11 @@ type ClientCtx struct {
 	threadIdx int
 
 	// per-client statistics
-	Ops     uint64
-	Blocks  uint64
-	Stalled uint64
+	Ops        uint64
+	Blocks     uint64
+	Stalled    uint64
+	Shed       uint64   // bulk writes refused by admission control
+	AdmitDelay Duration // cumulative bulk admission delay
 }
 
 // ClientThread spawns a closed-loop client running fn. Call before Run /
@@ -56,6 +59,26 @@ func (c *ClientCtx) Think(d Duration) { c.t.Sleep(d) }
 func (c *ClientCtx) Rand(n int64) int64 {
 	return c.sys.s.Rand().Int63n(n)
 }
+
+// RandFloat64 returns a deterministic pseudo-random float in [0, 1) — the
+// open-loop generators use it for exponential inter-arrival sampling.
+func (c *ClientCtx) RandFloat64() float64 {
+	return c.sys.s.Rand().Float64()
+}
+
+// WaitQueue is a parking lot for simulated client threads — the queueing
+// primitive open-loop workloads use to hand arrived operations to worker
+// threads (re-exported from the simulation kernel).
+type WaitQueue = sim.WaitQueue
+
+// NewWaitQueue creates a wait queue on the system's scheduler. name is used
+// in diagnostics and trace spans.
+func (sys *System) NewWaitQueue(name string) *WaitQueue {
+	return sim.NewWaitQueue(sys.s, name)
+}
+
+// Wait parks the client on q until another client Signals it.
+func (c *ClientCtx) Wait(q *WaitQueue) { q.Wait(c.t) }
 
 // payload builds the pattern content for a block write. The pattern is
 // derived from the file handle as the client holds it (member tag
@@ -157,12 +180,19 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 					FBN: fbn + FBN(b), Data: blocks[b], LogicalBytes: block.Size,
 				})
 				f.WriteBlock(fbn+FBN(b), blocks[b])
+				if m.bc != nil {
+					// A freshly written block is buffer-cache resident.
+					m.bc.Insert(bcache.Key{Vol: lv, Ino: li, FBN: fbn + FBN(b)})
+				}
 			}
 			v.MarkDirty(f)
 		})
 		lo = hi
 	}
 	res.Release()
+	// Landed writes convert this file's ingest reservation (if it was
+	// placed) into consumption the free-space counters now carry.
+	m.consumePlacement(lv, li, int64(nblocks))
 	if !m.log.HasFrozen() {
 		m.maybeTriggerCP()
 	}
@@ -181,6 +211,78 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 	return lat
 }
 
+// admitBulk runs the bulk-class admission gate against member m's NVRAM
+// watermarks: it returns true when the op may proceed (possibly after
+// delaying), false when the op is shed. Latency-sensitive ops never pass
+// through here. The bulkHeld latch provides back-to-back-CP hysteresis:
+// once bulk is held it stays held until the active half is below ResumeAt
+// AND no frozen half is draining, so the fullness cliff at a half-switch
+// does not reopen the gate while the CP is still paying down the log.
+func (c *ClientCtx) admitBulk(m *Member) bool {
+	ac := &c.sys.cfg.Admission
+	if !ac.Enabled {
+		return true
+	}
+	var delayed Duration
+	for {
+		full := m.log.Fullness()
+		if m.bulkHeld {
+			if full < ac.ResumeAt && !m.log.HasFrozen() {
+				m.bulkHeld = false
+			}
+		} else if full >= ac.BulkDelayAt {
+			m.bulkHeld = true
+		}
+		if !m.bulkHeld {
+			return true
+		}
+		if full >= ac.BulkShedAt || (ac.MaxDelay > 0 && delayed >= ac.MaxDelay) {
+			c.Shed++
+			m.shedOps++
+			m.maybeTriggerCP()
+			if tr := c.t.Tracer(); tr != nil {
+				tr.Instant(obs.PidThreads, c.t.TrackID(), "client", "bulk shed", int64(c.t.Now()))
+			}
+			return false
+		}
+		// Delay round: nudge a CP if none is draining, sleep, re-check.
+		start := c.t.Now()
+		if !m.log.HasFrozen() {
+			m.maybeTriggerCP()
+		}
+		c.t.Sleep(ac.DelayStep)
+		d := Duration(c.t.Now() - start)
+		delayed += d
+		c.AdmitDelay += d
+		m.admitDelay += d
+		if tr := c.t.Tracer(); tr != nil {
+			tr.Span(obs.PidThreads, c.t.TrackID(), "client", "admission delay",
+				int64(start), int64(c.t.Now()))
+			tr.Observe("client.admit", int64(d))
+		}
+	}
+}
+
+// WriteBulk performs a bulk-class write: identical to Write except it is
+// subject to admission control — under NVRAM pressure the op is delayed,
+// and past the shed watermark it is refused outright. Returns the op
+// latency (including any admission delay) and whether the write was
+// admitted; a shed write performed no work and was not acknowledged.
+// Latency-sensitive clients use Write, which is never gated.
+func (c *ClientCtx) WriteBulk(vol int, ino uint64, fbn FBN, nblocks int) (Duration, bool) {
+	m, _, _ := c.sys.resolve(vol, ino)
+	start := c.t.Now()
+	if !c.admitBulk(m) {
+		// A refused op still costs the client round trip. Consuming
+		// simulated time here also keeps a hammering retry loop from
+		// livelocking the single-threaded simulation.
+		c.t.Consume(c.sys.cfg.Costs.ClientOp)
+		return Duration(c.t.Now() - start), false
+	}
+	c.WriteTag(vol, ino, fbn, nblocks, 0)
+	return Duration(c.t.Now() - start), true
+}
+
 // Read performs one client read of nblocks blocks at fbn, demand-loading
 // missing blocks from the drives with timed I/O.
 func (c *ClientCtx) Read(vol int, ino uint64, fbn FBN, nblocks int) Duration {
@@ -196,7 +298,31 @@ func (c *ClientCtx) Read(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 			if f == nil {
 				return
 			}
-			v.ReadFileBlock(wt, f, fbn)
+			if m.bc == nil {
+				// Pre-cache behavior: demand-load installs into the
+				// in-memory tree forever, so a block read once never pays
+				// media again.
+				v.ReadFileBlock(wt, f, fbn)
+				return
+			}
+			// Buffer-cache read path: residency decides whether the read
+			// pays media latency; the in-memory trees stay the content
+			// authority but no longer model an unbounded cache.
+			key := bcache.Key{Vol: lv, Ino: li, FBN: fbn}
+			if m.bc.Touch(key) {
+				if tr := wt.Tracer(); tr != nil {
+					tr.Instant(obs.PidThreads, wt.TrackID(), "client", "bcache hit", int64(wt.Now()))
+				}
+				return // memory hit: no media I/O
+			}
+			miss := wt.Now()
+			v.ReadMediaBlock(wt, f, fbn)
+			m.bc.Insert(key)
+			if tr := wt.Tracer(); tr != nil {
+				tr.Span(obs.PidThreads, wt.TrackID(), "client", "bcache miss",
+					int64(miss), int64(wt.Now()))
+				tr.Observe("client.bcache.miss", int64(wt.Now()-miss))
+			}
 		})
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp)
@@ -231,6 +357,9 @@ func (c *ClientCtx) Create(vol int, maxBlocks uint64) uint64 {
 		f := v.CreateFile(maxBlocks)
 		ino = f.Ino()
 	})
+	// Bind the oldest unbound placement charge (if the volume came from
+	// PlaceFile) to this inode, so its writes decay the reservation.
+	m.bindPlacement(lv, ino)
 	rec := nvlog.Record{Kind: nvlog.OpCreate, Vol: uint32(lv), Ino: ino, MaxBlocks: maxBlocks}
 	for !m.log.Append(rec) {
 		c.Stalled++
@@ -270,6 +399,10 @@ func (c *ClientCtx) Delete(vol int, ino uint64) bool {
 		ok = v.DeleteFile(li)
 	})
 	if ok {
+		// Refund whatever part of the file's ingest reservation its writes
+		// never consumed; without this, create/delete churn starves the
+		// placement score's reservation-net free space.
+		m.refundPlacement(lv, li)
 		rec := nvlog.Record{Kind: nvlog.OpDelete, Vol: uint32(lv), Ino: li}
 		for !m.log.Append(rec) {
 			c.Stalled++
@@ -427,7 +560,9 @@ func (sys *System) VerifyRead(vol int, ino uint64, fbn FBN) []byte {
 // returns its handle (member-tagged; bare inode on member 0).
 func (sys *System) CreateFileDirect(vol int, maxBlocks uint64) uint64 {
 	m, lv := sys.volMember(vol)
-	return memberHandle(m.id, m.a.Volume(lv).CreateFile(maxBlocks).Ino())
+	ino := m.a.Volume(lv).CreateFile(maxBlocks).Ino()
+	m.bindPlacement(lv, ino)
+	return memberHandle(m.id, ino)
 }
 
 // SnapVerifyRead returns block fbn of inode ino from a snapshot's frozen

@@ -143,8 +143,8 @@ func TestMemberCrashIndependence(t *testing.T) {
 	}
 	defer sys.Shutdown()
 
-	vol0 := 0              // member 0
-	vol1 := cfg.Volumes    // member 1's first global volume
+	vol0 := 0           // member 0
+	vol1 := cfg.Volumes // member 1's first global volume
 	ino0 := sys.CreateFileDirect(vol0, 256)
 	ino1 := sys.CreateFileDirect(vol1, 256)
 

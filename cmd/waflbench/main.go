@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol parallelcp flexgroup all")
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol parallelcp flexgroup overload all")
 	benchjson := flag.String("benchjson", "", "write machine-readable results (ops/sec, fill words, walloc cores, get waits) to this JSON file")
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
@@ -41,7 +41,19 @@ func main() {
 	crashSeeds := flag.String("crashseeds", "1,2", "crashsweep: comma-separated workload seeds")
 	crashPhases := flag.Int("crashphases", 9, "crashsweep: CP phase-boundary crash points (0 = off)")
 	clustersweep := flag.Bool("clustersweep", false, "run the independent member-crash sweep instead of the figures")
+	overloadcheck := flag.Bool("overloadcheck", false, "run the admission-control SLO check instead of the figures (exit 1 on violation)")
 	flag.Parse()
+
+	if *overloadcheck {
+		rc := harness.DefaultRun()
+		start := time.Now()
+		if err := harness.OverloadCheck(rc); err != nil {
+			fmt.Fprintf(os.Stderr, "overloadcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("overloadcheck: admission SLO holds (%.1fs host time)\n", time.Since(start).Seconds())
+		return
+	}
 
 	if *crashsweep {
 		runCrashSweep(*crashPoints, *crashSeeds, *crashPhases)
@@ -128,6 +140,11 @@ func main() {
 	run("parallelcp", func() (harness.Table, error) {
 		t, res, err := harness.ParallelCP(rc)
 		benchResults = append(benchResults, res...)
+		return t, err
+	})
+	run("overload", func() (harness.Table, error) {
+		t, points, err := harness.Overload(rc)
+		benchResults = append(benchResults, harness.OverloadBench(points, rc.Window)...)
 		return t, err
 	})
 	run("flexgroup", func() (harness.Table, error) {

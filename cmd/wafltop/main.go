@@ -91,14 +91,27 @@ func main() {
 	fmt.Println()
 	if sys.Members() > 1 {
 		fmt.Println("=== cluster members (measurement window + point-in-time state) ===")
-		fmt.Printf("%-6s  %10s  %6s  %10s  %12s  %8s\n",
-			"member", "ops/s", "cps", "nvlog-fill", "free-blocks", "cleaners")
+		fmt.Printf("%-6s  %10s  %6s  %10s  %12s  %8s  %9s  %6s  %9s\n",
+			"member", "ops/s", "cps", "nvlog-fill", "free-blocks", "cleaners", "reserved", "shed", "bc-hit%")
 		for i := 0; i < sys.Members(); i++ {
 			mi := sys.MemberInfo(i)
-			fmt.Printf("%-6d  %10.0f  %6d  %9.0f%%  %12d  %8d\n",
-				mi.ID, parts[i].OpsPerSec, parts[i].CPs, 100*mi.NVLogFullness, mi.FreeBlocks, mi.Cleaners)
+			bcHit := 0.0
+			if lookups := mi.BCacheHits + mi.BCacheMisses; lookups > 0 {
+				bcHit = 100 * float64(mi.BCacheHits) / float64(lookups)
+			}
+			fmt.Printf("%-6d  %10.0f  %6d  %9.0f%%  %12d  %8d  %9d  %6d  %8.1f%%\n",
+				mi.ID, parts[i].OpsPerSec, parts[i].CPs, 100*mi.NVLogFullness, mi.FreeBlocks, mi.Cleaners,
+				mi.Reserved, mi.ShedOps, bcHit)
 		}
 		fmt.Println()
+	}
+	if shed, delay := sys.AdmissionStats(); shed > 0 || delay > 0 {
+		fmt.Printf("=== admission control ===\nshed %d bulk ops, %.1fms total delay applied\n\n",
+			shed, delay.Millis())
+	}
+	if bc := sys.BCacheStats(); bc.Hits+bc.Misses > 0 {
+		fmt.Printf("=== buffer cache ===\n%d hits / %d misses (%.1f%% hit rate), %d evictions, %d resident\n\n",
+			bc.Hits, bc.Misses, 100*float64(bc.Hits)/float64(bc.Hits+bc.Misses), bc.Evictions, bc.Resident)
 	}
 	fmt.Println("=== allocator (buckets / tetris / stages; Fig 2-3 lifecycle) ===")
 	fmt.Println(sys.InfraStats())

@@ -17,6 +17,12 @@ type BenchResult struct {
 	MBPerSec            float64 `json:"mb_per_sec"`
 	LatP50Us            float64 `json:"lat_p50_us"`
 	LatP99Us            float64 `json:"lat_p99_us"`
+	LatP999Us           float64 `json:"lat_p999_us,omitempty"`
+	BulkP999Us          float64 `json:"bulk_p999_us,omitempty"`
+	ShedOps             uint64  `json:"shed_ops,omitempty"`
+	AdmitDelayUs        float64 `json:"admit_delay_us,omitempty"`
+	BCacheHits          uint64  `json:"bcache_hits,omitempty"`
+	BCacheMisses        uint64  `json:"bcache_misses,omitempty"`
 	WallocCores         float64 `json:"walloc_cores"` // cleaner + infra
 	InfraCores          float64 `json:"infra_cores"`
 	CPs                 uint64  `json:"cps"`

@@ -64,7 +64,7 @@ func (r ClusterSweepResult) OK() bool { return len(r.Failures) == 0 }
 // handles (for CrashMember pinning), and per-member completion counts.
 type clusterRun struct {
 	sys     *wafl.System
-	acks    []*ackLog          // one per member
+	acks    []*ackLog           // one per member
 	clients [][]*wafl.ClientCtx // client handles, per member
 	e0      uint64
 }

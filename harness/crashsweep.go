@@ -43,6 +43,11 @@ type CrashSweepConfig struct {
 	// crash-tested both under fan-out and on the serial ablation. Empty
 	// means "just Base.Allocator.ParallelCP as configured".
 	Modes []bool
+	// Overload adds one crash point taken while NVLog admission control is
+	// actively shedding bulk load: the crash lands mid-shed and recovery
+	// must replay exactly the admitted (logged, acked) writes — shed writes
+	// were never logged and must stay absent from the contract.
+	Overload bool
 }
 
 // DefaultCrashSweep returns a bounded sweep sized for CI: a small server,
@@ -81,6 +86,7 @@ func DefaultCrashSweep() CrashSweepConfig {
 		BaseBlocks:   512,
 		MaxRun:       2 * wafl.Second,
 		Modes:        []bool{true, false},
+		Overload:     true,
 	}
 }
 
@@ -423,6 +429,11 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 			return tab, res, err
 		}
 	}
+	if cfg.Overload {
+		if err := overloadCrashPoint(cfg, &tab, &res); err != nil {
+			return tab, res, err
+		}
+	}
 
 	for _, f := range res.Failures {
 		tab.Notes = append(tab.Notes, "FAIL "+f)
@@ -432,6 +443,86 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 			fmt.Sprintf("%d crash points: recovery + double-crash recovery all verified", res.PointsRun))
 	}
 	return tab, res, nil
+}
+
+// overloadCrashPoint builds a system with a small NVRAM log and admission
+// control tuned to shed readily, drives it with hammering bulk writers
+// (plus occasional latency-sensitive writes), runs until the controller is
+// observed actively shedding, and crashes it right there. The ack log
+// records a bulk write only when WriteBulk admitted it, so verification
+// proves the shed-load crash contract: every admitted write replays, and
+// nothing that was shed leaks into the recovered image.
+func overloadCrashPoint(cfg CrashSweepConfig, tab *Table, res *CrashSweepResult) error {
+	c := cfg.Base
+	if len(cfg.Seeds) > 0 {
+		c.Seed = cfg.Seeds[0]
+	}
+	c.NVRAMHalfBytes = 256 << 10
+	c.Admission = wafl.DefaultAdmission()
+	// Shed after two delay rounds: the point exists to crash mid-shed, so
+	// the controller must reach the shed tier quickly and repeatedly.
+	c.Admission.MaxDelay = 2 * c.Admission.DelayStep
+	sys, err := wafl.NewSystem(c)
+	if err != nil {
+		return err
+	}
+	base := make([]uint64, cfg.Clients)
+	for i := range base {
+		base[i] = sys.CreateFileDirect(i%c.Volumes, uint64(cfg.BaseBlocks))
+	}
+	if err := sys.Flush(); err != nil {
+		sys.Shutdown()
+		return fmt.Errorf("overload setup flush: %w", err)
+	}
+	ack := newAckLog()
+	ack.baseBlocks = cfg.BaseBlocks
+	for i := 0; i < cfg.Clients; i++ {
+		vol := i % c.Volumes
+		ino := base[i]
+		sys.ClientThread(fmt.Sprintf("overload-%d", i), func(cc *wafl.ClientCtx) {
+			for cc.Alive() {
+				fbn := wafl.FBN(cc.Rand(cfg.BaseBlocks - 16))
+				if cc.Rand(4) == 0 {
+					cc.Write(vol, ino, fbn, 2)
+					ack.ops = append(ack.ops, ackOp{'w', vol, ino, fbn, 2})
+				} else if _, ok := cc.WriteBulk(vol, ino, fbn, 16); ok {
+					ack.ops = append(ack.ops, ackOp{'w', vol, ino, fbn, 16})
+				}
+			}
+		})
+	}
+	const label = "overload@shed"
+	shedding := false
+	for i := 0; i < 256 && !shedding; i++ {
+		sys.Run(2 * wafl.Millisecond)
+		if shed, _ := sys.AdmissionStats(); shed > 0 {
+			shedding = true
+		}
+	}
+	if shedding {
+		// Run deeper into the shed regime so the crash lands with a real
+		// mix of admitted-during-shedding and refused ops in flight.
+		sys.Run(10 * wafl.Millisecond)
+	}
+	failsBefore := len(res.Failures)
+	if !shedding {
+		res.Failures = append(res.Failures, label+": admission never shed; crash point not reached")
+		sys.Shutdown()
+	} else {
+		var final *wafl.System
+		res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
+		res.PointsRun++
+		if final != nil {
+			final.Shutdown()
+		} else {
+			sys.Shutdown()
+		}
+	}
+	tab.Rows = append(tab.Rows, []string{
+		fmt.Sprintf("%d", c.Seed), "overload-shed", "1",
+		fmt.Sprintf("%d", len(ack.ops)), fmt.Sprintf("%d", len(res.Failures)-failsBefore),
+	})
+	return nil
 }
 
 // crashSweepMode runs the full event-index + phase-boundary schedule for

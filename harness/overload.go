@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"fmt"
+
+	"wafl"
+	"wafl/workload"
+)
+
+// OverloadPoint is one mode's outcome in the open-loop overload study: the
+// per-class sojourn tail (queue wait included), admission-control activity,
+// and the NVLog stall attribution that explains the tail.
+type OverloadPoint struct {
+	Mode string // "admission-off" | "admission-on"
+
+	// Sojourn (arrival -> completion) quantiles over the measurement
+	// window, per QoS class.
+	LSP50, LSP99, LSP999 wafl.Duration
+	BulkP50, BulkP999    wafl.Duration
+
+	// Open-loop accounting for the window.
+	Arrivals, Completed      uint64
+	Shed                     uint64 // bulk writes refused by admission
+	LSQueueMax, BulkQueueMax int    // high-water pending-op depth (whole run)
+
+	// Attribution: why the tail is what it is.
+	Stalls                   uint64        // NVLog-full write stalls (hit every class)
+	StallTime                wafl.Duration // total time writers sat in those stalls
+	AdmitDelay               wafl.Duration // total admission backpressure applied to bulk
+	CPs                      uint64
+	BCacheHits, BCacheMisses uint64
+}
+
+// OverloadConfig returns the study's system config: the default box with a
+// small NVRAM log (so the burst phase actually pressures it), the buffer
+// cache enabled at well under the streams' working set (reads mix cache
+// hits with timed media reads, as in CAWL's capacity regimes), and
+// admission control parameters tuned for the burst.
+func OverloadConfig(base wafl.Config) wafl.Config {
+	cfg := base
+	cfg.NVRAMHalfBytes = 1 << 20 // 1 MiB halves: burst writes cross watermarks
+	cfg.BCacheBlocks = 8192      // working set is 2000 streams x 64 blocks = 128k
+	cfg.Admission = wafl.DefaultAdmission()
+	cfg.Admission.Enabled = false // each mode sets this explicitly
+	return cfg
+}
+
+// overloadWorkload is the shared burst shape for both modes.
+func overloadWorkload() workload.OpenLoop {
+	return workload.DefaultOpenLoop()
+}
+
+// runOverload measures one admission mode and returns its point.
+func runOverload(cfg wafl.Config, warmup, window wafl.Duration, mode string) (OverloadPoint, error) {
+	w := overloadWorkload()
+	sys, err := wafl.NewSystem(cfg)
+	if err != nil {
+		return OverloadPoint{}, err
+	}
+	w.Attach(sys)
+	sys.Run(warmup)
+
+	// Window baselines: histograms and counters accumulate from t=0, so
+	// snapshot at the window edge and diff.
+	ls0, bulk0 := w.LSLat.Clone(), w.BulkLat.Clone()
+	arr0, done0, shed0 := w.Arrivals, w.Completed, w.Shed
+	shedSys0, delay0 := sys.AdmissionStats()
+	_ = shedSys0
+	bc0 := sys.BCacheStats()
+	res := sys.Measure(0, window)
+	ls := w.LSLat.Delta(ls0)
+	bulk := w.BulkLat.Delta(bulk0)
+	_, delay1 := sys.AdmissionStats()
+	bc1 := sys.BCacheStats()
+	p := OverloadPoint{
+		Mode:         mode,
+		LSP50:        wafl.Duration(ls.Quantile(0.50)),
+		LSP99:        wafl.Duration(ls.Quantile(0.99)),
+		LSP999:       wafl.Duration(ls.Quantile(0.999)),
+		BulkP50:      wafl.Duration(bulk.Quantile(0.50)),
+		BulkP999:     wafl.Duration(bulk.Quantile(0.999)),
+		Arrivals:     w.Arrivals - arr0,
+		Completed:    w.Completed - done0,
+		Shed:         w.Shed - shed0,
+		LSQueueMax:   w.LSQueueMax,
+		BulkQueueMax: w.BulkQueueMax,
+		Stalls:       res.Stalls,
+		StallTime:    res.StallTime,
+		AdmitDelay:   delay1 - delay0,
+		CPs:          res.CPs,
+		BCacheHits:   bc1.Hits - bc0.Hits,
+		BCacheMisses: bc1.Misses - bc0.Misses,
+	}
+	sys.Shutdown()
+	return p, nil
+}
+
+// Overload runs the open-loop overload study: the burst-shaped Poisson
+// arrival process against the same system with admission control off and
+// on. Off, the burst fills the NVRAM log, every write (both classes)
+// stalls behind back-to-back CPs, the queue grows open-loop, and the
+// latency-sensitive p99.9 is unbounded — it scales with burst length, not
+// service time. On, bulk writes are delayed and then shed as the log
+// crosses the watermarks; the log stays below the stall point, and the
+// latency-sensitive tail stays bounded while bulk degrades gracefully.
+func Overload(rc RunConfig) (Table, []OverloadPoint, error) {
+	t := Table{
+		ID:    "Overload",
+		Title: "Open-loop burst: per-class p99.9 with and without NVLog admission control",
+		Headers: []string{"admission", "ls p50", "ls p99", "ls p99.9", "bulk p99.9",
+			"shed", "stalls", "stall time", "admit delay", "cps", "bc hit%"},
+	}
+	base := OverloadConfig(rc.Base)
+	var points []OverloadPoint
+	for _, on := range []bool{false, true} {
+		cfg := base
+		cfg.Admission.Enabled = on
+		mode := "admission-off"
+		if on {
+			mode = "admission-on"
+		}
+		p, err := runOverload(cfg, rc.Warmup, rc.Window, mode)
+		if err != nil {
+			return Table{}, nil, err
+		}
+		points = append(points, p)
+		hitPct := 0.0
+		if lookups := p.BCacheHits + p.BCacheMisses; lookups > 0 {
+			hitPct = 100 * float64(p.BCacheHits) / float64(lookups)
+		}
+		t.Rows = append(t.Rows, []string{
+			mode, us(p.LSP50), us(p.LSP99), ms(p.LSP999), ms(p.BulkP999),
+			fmt.Sprintf("%d", p.Shed), fmt.Sprintf("%d", p.Stalls), ms(p.StallTime),
+			ms(p.AdmitDelay), fmt.Sprintf("%d", p.CPs), f2(hitPct),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"sojourn latency: completion - arrival, queue wait included (open loop)",
+		"off: burst fills NVLog, back-to-back CP stalls hit both classes",
+		"on: bulk delayed/shed at the watermarks, LS tail stays bounded")
+	return t, points, nil
+}
+
+// OverloadBench converts the study's points to bench-JSON entries.
+func OverloadBench(points []OverloadPoint, window wafl.Duration) []BenchResult {
+	var out []BenchResult
+	secs := window.Micros() / 1e6
+	for _, p := range points {
+		b := BenchResult{
+			Name:         "overload",
+			Mode:         p.Mode,
+			OpsPerSec:    float64(p.Completed) / secs,
+			LatP50Us:     p.LSP50.Micros(),
+			LatP99Us:     p.LSP99.Micros(),
+			LatP999Us:    p.LSP999.Micros(),
+			BulkP999Us:   p.BulkP999.Micros(),
+			ShedOps:      p.Shed,
+			AdmitDelayUs: p.AdmitDelay.Micros(),
+			BCacheHits:   p.BCacheHits,
+			BCacheMisses: p.BCacheMisses,
+			CPs:          p.CPs,
+			Stalls:       p.Stalls,
+			StallTimeUs:  p.StallTime.Micros(),
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// OverloadCheck runs the study and asserts the SLO contract that the
+// admission controller exists to provide:
+//
+//  1. with admission off, the burst drives the latency-sensitive p99.9
+//     into open-loop blowup (well beyond any service-time bound);
+//  2. with admission on, bulk load is actually shed (the controller
+//     engaged) and the latency-sensitive p99.9 stays bounded — an order
+//     of magnitude below the admission-off tail.
+//
+// It is wired into `make overloadcheck` / CI.
+func OverloadCheck(rc RunConfig) error {
+	_, points, err := Overload(rc)
+	if err != nil {
+		return err
+	}
+	var off, on OverloadPoint
+	for _, p := range points {
+		if p.Mode == "admission-on" {
+			on = p
+		} else {
+			off = p
+		}
+	}
+	const lsSLO = 20 * wafl.Millisecond
+	if off.LSP999 < 2*lsSLO {
+		return fmt.Errorf("admission-off LS p99.9 = %v: burst did not overload the system (want >= %v)",
+			off.LSP999, 2*lsSLO)
+	}
+	if on.Shed == 0 {
+		return fmt.Errorf("admission-on shed no bulk writes: controller never engaged")
+	}
+	if on.LSP999 > lsSLO {
+		return fmt.Errorf("admission-on LS p99.9 = %v exceeds SLO %v", on.LSP999, lsSLO)
+	}
+	if on.LSP999*4 > off.LSP999 {
+		return fmt.Errorf("admission-on LS p99.9 = %v not well under admission-off %v", on.LSP999, off.LSP999)
+	}
+	return nil
+}

@@ -480,6 +480,33 @@ func (v *Volume) ReadFileBlock(t *sim.Thread, f *fs.File, fbn block.FBN) []byte 
 	return nil
 }
 
+// ReadMediaBlock charges a timed drive read for f's block fbn without
+// installing the L0 buffer into the file's in-memory tree — the
+// buffer-cache read path, where residency (and thus whether a re-read pays
+// media latency again) is owned by the caller's sized cache rather than by
+// permanent tree installation. Indirect blocks still install (they are
+// metadata, cheap and shared); only the data block stays uninstalled.
+// Returns false for holes and for blocks with no committed on-media
+// location (dirty-only data, which lives in memory by definition).
+func (v *Volume) ReadMediaBlock(t *sim.Thread, f *fs.File, fbn block.FBN) bool {
+	v.EnsurePathResident(f, fbn)
+	if f.Height() < 1 {
+		return false
+	}
+	parent := f.Buffer(1, fbn>>8)
+	if parent == nil {
+		return false // hole
+	}
+	_, vbn := fs.PtrAt(parent, int(fbn&(block.PtrsPerBlock-1)))
+	if vbn == 0 || vbn == block.InvalidVBN {
+		return false // hole or never persisted
+	}
+	if v.aggr.ReadVBN(t, vbn) == nil {
+		panic(fmt.Sprintf("volume %d: ino %d L0 fbn %d at %v unreadable", v.id, f.Ino(), fbn, vbn))
+	}
+	return true
+}
+
 // NextIno returns the next inode number to be assigned (persisted in the
 // volume-table entry).
 func (v *Volume) NextIno() uint64 { return v.nextIno }

@@ -97,7 +97,15 @@ func (h *Histogram) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	target := uint64(q * float64(h.Count))
+	// The target rank is the ceiling of q*Count: the q-quantile of n samples
+	// is the ceil(q*n)-th order statistic. Truncating here returned the
+	// previous sample (p50 of {a,b,c} came back as a), which a property test
+	// over 1..3-sample histograms catches.
+	tf := q * float64(h.Count)
+	target := uint64(tf)
+	if float64(target) < tf {
+		target++
+	}
 	if target < 1 {
 		target = 1
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wafl/internal/aggregate"
+	"wafl/internal/bcache"
 	"wafl/internal/block"
 	"wafl/internal/core"
 	"wafl/internal/cp"
@@ -44,8 +45,37 @@ type Member struct {
 
 	// reserved is the per-local-volume ingest reservation (blocks charged
 	// by PlaceFile for files placed but not yet written). Host-side
-	// placement state; never read by simulated threads.
+	// placement state; never read by simulated threads. Reservations decay
+	// as the placed writes land (reservation becomes consumption, which the
+	// free-space counters then reflect) and the remainder is refunded when
+	// the placed file is deleted — without the decay, a churning cluster
+	// eventually reports zero reservation-net free space everywhere and
+	// placement degenerates to member 0.
 	reserved []int64
+	// pendingPlace is, per local volume, the FIFO of placement charges not
+	// yet bound to a created inode: PlaceFile pushes, the next create on
+	// that volume pops and binds.
+	pendingPlace [][]int64
+	// placements maps a placed file (by local volume and inode) to the
+	// blocks of its reservation not yet converted to consumption. Lookup
+	// only — never iterated — so determinism is safe.
+	placements map[placeKey]int64
+
+	// bc is the member's sized buffer cache on the client read path, nil
+	// when Config.BCacheBlocks is 0 (reads then always install into the
+	// in-memory trees, the pre-cache behavior). Volatile: rebuilt cold on
+	// recovery.
+	bc *bcache.Cache
+
+	// Admission-control state (Config.Admission). bulkHeld latches when the
+	// NVRAM active half crosses the bulk delay watermark and releases only
+	// once fullness drops below the resume watermark with no frozen half
+	// draining — the hysteresis that stops admission flapping across CP
+	// half-switches (fullness drops to ~0 the instant the halves switch,
+	// long before the CP has actually freed anything).
+	bulkHeld   bool
+	shedOps    uint64       // bulk writes refused admission
+	admitDelay sim.Duration // cumulative bulk admission delay
 
 	// Per-member cumulative client statistics; Results windows diff these.
 	opsDone   uint64
@@ -54,6 +84,61 @@ type Member struct {
 	stalls    uint64
 	stallTime sim.Duration
 	lat       *obs.Histogram // client op latency, log-linear buckets
+}
+
+// placeKey identifies a placed file's reservation: member-local volume and
+// inode.
+type placeKey struct {
+	vol int
+	ino uint64
+}
+
+// bindPlacement binds the oldest unbound placement charge on local volume
+// lv to the newly created inode ino, so later writes to it can decay the
+// reservation and a delete can refund the remainder. No-op when no
+// placement is pending (plain creates).
+//
+// Concurrent placed creates on one volume may interleave between PlaceFile
+// and the create, so a charge can bind to a different same-volume file than
+// the one it was sized for; the invariant that matters — reserved[lv] equals
+// pending plus bound remainders — holds regardless, and the FIFO keeps the
+// binding deterministic.
+func (m *Member) bindPlacement(lv int, ino uint64) {
+	q := m.pendingPlace[lv]
+	if len(q) == 0 {
+		return
+	}
+	m.placements[placeKey{lv, ino}] = q[0]
+	m.pendingPlace[lv] = q[1:]
+}
+
+// consumePlacement converts up to blocks of the file's outstanding
+// placement reservation into consumption: the blocks just written are now
+// counted by the free-space index itself, so the reservation standing in
+// for them is released.
+func (m *Member) consumePlacement(lv int, ino uint64, blocks int64) {
+	k := placeKey{lv, ino}
+	rem, ok := m.placements[k]
+	if !ok {
+		return
+	}
+	if blocks >= rem {
+		m.reserved[lv] -= rem
+		delete(m.placements, k)
+		return
+	}
+	m.reserved[lv] -= blocks
+	m.placements[k] = rem - blocks
+}
+
+// refundPlacement returns the unwritten remainder of a deleted placed
+// file's reservation.
+func (m *Member) refundPlacement(lv int, ino uint64) {
+	k := placeKey{lv, ino}
+	if rem, ok := m.placements[k]; ok {
+		m.reserved[lv] -= rem
+		delete(m.placements, k)
+	}
 }
 
 // spawnPrefix returns the thread-name prefix for member id: empty for
@@ -77,7 +162,12 @@ func buildMember(sys *System, id int) (*Member, error) {
 	s.SetSpawnPrefix(spawnPrefix(id))
 	defer s.SetSpawnPrefix("")
 	m := &Member{sys: sys, id: id, threadLo: s.ThreadMark(), lat: obs.NewHistogram("client.lat"),
-		reserved: make([]int64, cfg.Volumes)}
+		reserved:     make([]int64, cfg.Volumes),
+		pendingPlace: make([][]int64, cfg.Volumes),
+		placements:   make(map[placeKey]int64)}
+	if cfg.BCacheBlocks > 0 {
+		m.bc = bcache.New(cfg.BCacheBlocks)
+	}
 	m.w = waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
 	m.h = waffinity.NewHierarchy(m.w, waffinity.HierarchyConfig{
 		Aggregates:    1,
@@ -132,7 +222,24 @@ func (sys *System) remountMember(om *Member) (*Member, error) {
 		sys: sys, id: om.id, a: a, threadLo: s.ThreadMark(),
 		opsDone: om.opsDone, blocksW: om.blocksW, blocksR: om.blocksR,
 		stalls: om.stalls, stallTime: om.stallTime, lat: om.lat,
-		reserved: om.reserved,
+		shedOps: om.shedOps, admitDelay: om.admitDelay,
+		// Deep-copy the placement state: sharing om.reserved's backing array
+		// (the old `reserved: om.reserved`) let post-recovery reservation
+		// mutations be observed through stale references to the dead member
+		// held by in-flight measurement/debug paths.
+		reserved:     append([]int64(nil), om.reserved...),
+		pendingPlace: make([][]int64, len(om.pendingPlace)),
+		placements:   make(map[placeKey]int64, len(om.placements)),
+	}
+	for v, q := range om.pendingPlace {
+		m.pendingPlace[v] = append([]int64(nil), q...)
+	}
+	for k, rem := range om.placements {
+		m.placements[k] = rem
+	}
+	// The buffer cache is volatile: a recovered member restarts cold.
+	if cfg.BCacheBlocks > 0 {
+		m.bc = bcache.New(cfg.BCacheBlocks)
 	}
 	// Everything volatile is rebuilt from scratch — including the Waffinity
 	// scheduler and its worker threads (the crash destroyed the old ones).
@@ -269,8 +376,8 @@ func memberHandle(id int, ino uint64) uint64 {
 	return uint64(id)<<memberShift | ino
 }
 
-func handleMember(ino uint64) int  { return int(ino >> memberShift) }
-func handleIno(ino uint64) uint64  { return ino & (1<<memberShift - 1) }
+func handleMember(ino uint64) int { return int(ino >> memberShift) }
+func handleIno(ino uint64) uint64 { return ino & (1<<memberShift - 1) }
 
 // m0 returns member 0 — the whole system when Members == 1. In-package
 // tests reach single-member internals (aggregate, NVRAM log) through it.

@@ -51,6 +51,7 @@ type Results struct {
 	LatP50     Duration
 	LatP90     Duration
 	LatP99     Duration
+	LatP999    Duration // p99.9 — the overload-study tail metric
 	LatMax     Duration
 	Cores      CoreUsage
 	CPs        uint64
@@ -179,6 +180,7 @@ func (sys *System) memberDiffs(start, end snapshot) []Results {
 			r.LatP50 = Duration(d.Quantile(0.50))
 			r.LatP90 = Duration(d.Quantile(0.90))
 			r.LatP99 = Duration(d.Quantile(0.99))
+			r.LatP999 = Duration(d.Quantile(0.999))
 			r.LatMax = Duration(d.Max)
 		}
 		dFull := me.fullStripes - ms.fullStripes
@@ -262,6 +264,7 @@ func MergeResults(parts []Results) Results {
 		r.LatP50 = Duration(lat.Quantile(0.50))
 		r.LatP90 = Duration(lat.Quantile(0.90))
 		r.LatP99 = Duration(lat.Quantile(0.99))
+		r.LatP999 = Duration(lat.Quantile(0.999))
 		r.LatMax = Duration(lat.Max)
 	}
 	return r

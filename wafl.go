@@ -38,6 +38,7 @@ import (
 	"strings"
 
 	"wafl/internal/aggregate"
+	"wafl/internal/bcache"
 	"wafl/internal/block"
 	"wafl/internal/core"
 	"wafl/internal/cp"
@@ -83,7 +84,15 @@ type (
 	// RepairStats counts fault repairs on the raw read path (retries of
 	// transient errors, RAID reconstructions of persistent ones).
 	RepairStats = aggregate.RepairStats
+	// BCacheStats is a snapshot of the buffer-cache counters
+	// (hits/misses/evictions/resident blocks).
+	BCacheStats = bcache.Stats
 )
+
+// NewHistogram creates a standalone log-linear latency histogram for
+// callers that keep their own metric state (e.g. the open-loop workload's
+// per-class sojourn-time distributions).
+func NewHistogram(name string) *TraceHistogram { return obs.NewHistogram(name) }
 
 // Allocation Area policies (re-exported).
 const (
@@ -184,9 +193,63 @@ type Config struct {
 	// Each member gets its own injector wired to its own drives.
 	Faults FaultConfig
 
+	// BCacheBlocks sizes each member's buffer cache on the client read path,
+	// in 4 KiB blocks. 0 disables the cache: reads then install demand-loaded
+	// blocks into the in-memory trees forever (the pre-cache behavior, kept
+	// bit-identical for existing configurations). With a cache, client reads
+	// and writes occupy cache residency with LRU eviction; a read outside the
+	// resident set pays a timed media I/O — the CAWL-style regime split
+	// between below-cache-capacity fast paths and eviction-limited steady
+	// state.
+	BCacheBlocks int
+
+	// Admission configures NVLog watermark-based admission control for
+	// bulk-class writes. The zero value disables it.
+	Admission AdmissionConfig
+
 	Allocator AllocatorOptions
 	Costs     CostModel
 	Tuner     TunerConfig
+}
+
+// AdmissionConfig is the per-class QoS policy: latency-sensitive writes are
+// always admitted, while bulk writes are delayed and eventually shed as the
+// NVRAM active half fills. Hysteresis: once bulk is held, it stays held
+// until fullness drops below ResumeAt with no frozen half draining, so
+// admission does not flap across CP half-switches.
+type AdmissionConfig struct {
+	// Enabled turns the gate on; all other fields are ignored when false.
+	Enabled bool
+	// BulkDelayAt is the active-half fullness fraction at which bulk writes
+	// start being delayed.
+	BulkDelayAt float64
+	// BulkShedAt is the fullness at which delayed bulk writes are refused
+	// outright (shed) instead of waiting.
+	BulkShedAt float64
+	// ResumeAt is the hysteresis release point: bulk resumes only below this
+	// fullness and only once no frozen half is draining.
+	ResumeAt float64
+	// DelayStep is the per-round delay a held bulk write sleeps before
+	// re-checking the watermarks.
+	DelayStep Duration
+	// MaxDelay bounds one op's cumulative admission delay; past it the op is
+	// shed even below the shed watermark.
+	MaxDelay Duration
+}
+
+// DefaultAdmission returns an enabled admission policy with watermarks
+// placed around the default CP trigger (0.5): bulk delays once the active
+// half is 70% full, sheds at 92%, and resumes below 55% after the CP
+// commits.
+func DefaultAdmission() AdmissionConfig {
+	return AdmissionConfig{
+		Enabled:     true,
+		BulkDelayAt: 0.70,
+		BulkShedAt:  0.92,
+		ResumeAt:    0.55,
+		DelayStep:   200 * Microsecond,
+		MaxDelay:    20 * Millisecond,
+	}
 }
 
 // DefaultConfig returns a configuration modelling the paper's mid-range
@@ -303,8 +366,12 @@ type MemberInfo struct {
 	CPs           uint64  // completed consistency points
 	NVLogFullness float64 // active NVRAM half fullness [0, 1]
 	FreeBlocks    int64   // allocatable VVBNs across the member's volumes
+	Reserved      int64   // outstanding ingest-reservation blocks (placement)
 	Cleaners      int     // active cleaner threads
 	Crashed       bool
+	ShedOps       uint64 // bulk writes refused by admission control
+	BCacheHits    uint64 // buffer-cache hits (0 when the cache is off)
+	BCacheMisses  uint64 // buffer-cache misses / timed media reads
 }
 
 // MemberInfo returns the current summary of member i.
@@ -314,7 +381,7 @@ func (sys *System) MemberInfo(i int) MemberInfo {
 	for v := 0; v < sys.cfg.Volumes; v++ {
 		free += m.in.VolFree(v)
 	}
-	return MemberInfo{
+	mi := MemberInfo{
 		ID:            m.id,
 		Ops:           m.opsDone,
 		Blocks:        m.blocksW,
@@ -323,7 +390,43 @@ func (sys *System) MemberInfo(i int) MemberInfo {
 		FreeBlocks:    free,
 		Cleaners:      m.pool.Active(),
 		Crashed:       m.crashed,
+		ShedOps:       m.shedOps,
 	}
+	for _, r := range m.reserved {
+		mi.Reserved += r
+	}
+	if m.bc != nil {
+		st := m.bc.Stats()
+		mi.BCacheHits, mi.BCacheMisses = st.Hits, st.Misses
+	}
+	return mi
+}
+
+// BCacheStats returns the buffer-cache counters summed across members
+// (all zero when Config.BCacheBlocks is 0).
+func (sys *System) BCacheStats() BCacheStats {
+	var t BCacheStats
+	for _, m := range sys.members {
+		if m.bc == nil {
+			continue
+		}
+		st := m.bc.Stats()
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Evictions += st.Evictions
+		t.Resident += st.Resident
+	}
+	return t
+}
+
+// AdmissionStats returns cluster-wide admission-control activity: bulk
+// writes shed and cumulative bulk delay time.
+func (sys *System) AdmissionStats() (shed uint64, delay Duration) {
+	for _, m := range sys.members {
+		shed += m.shedOps
+		delay += m.admitDelay
+	}
+	return shed, delay
 }
 
 // placementLogPenalty weighs NVRAM occupancy against free-space fraction
@@ -371,7 +474,23 @@ func (sys *System) PlaceFile(sizeBlocks uint64) int {
 		}
 	}
 	m.reserved[bestVol] += int64(sizeBlocks)
+	// The charge starts unbound; the next create on the volume binds it to
+	// its inode (Member.bindPlacement), after which landed writes decay it
+	// and a delete refunds the rest.
+	m.pendingPlace[bestVol] = append(m.pendingPlace[bestVol], int64(sizeBlocks))
 	return best*sys.cfg.Volumes + bestVol
+}
+
+// ReservedBlocks returns member i's outstanding ingest reservations, summed
+// across its volumes: blocks charged by PlaceFile not yet written (as
+// consumption) or refunded (by delete). On an idle cluster after churn this
+// returns to ~0 — only charges never bound to a create linger.
+func (sys *System) ReservedBlocks(i int) int64 {
+	var t int64
+	for _, r := range sys.members[i].reserved {
+		t += r
+	}
+	return t
 }
 
 // Run advances the simulation by d.

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"testing"
+
+	"wafl"
+)
+
+// smallOpenLoop scales the open-loop workload to the test config.
+func smallOpenLoop() OpenLoop {
+	w := DefaultOpenLoop()
+	w.Streams = 200
+	w.Workers = 4
+	w.BulkWorkers = 2
+	w.RatePerSec = 10000
+	w.Volumes = 2
+	w.Phases = nil
+	return w
+}
+
+func TestOpenLoopPoissonRate(t *testing.T) {
+	w := smallOpenLoop()
+	sys, err := wafl.NewSystem(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Attach(sys)
+	const dur = 200 * wafl.Millisecond
+	sys.Run(dur)
+	sys.Shutdown()
+	// A Poisson process at 10k/s over 200ms expects ~2000 arrivals; the
+	// standard deviation is sqrt(2000) ~ 45, so +-10% is > 4 sigma.
+	want := w.RatePerSec * float64(dur) / float64(wafl.Second)
+	if got := float64(w.Arrivals); got < 0.9*want || got > 1.1*want {
+		t.Fatalf("arrivals = %.0f, want %.0f +-10%% (Poisson rate off)", got, want)
+	}
+	if w.Completed == 0 || w.LSLat.Count == 0 || w.BulkLat.Count == 0 {
+		t.Fatalf("no completions recorded: done=%d ls=%d bulk=%d",
+			w.Completed, w.LSLat.Count, w.BulkLat.Count)
+	}
+}
+
+func TestOpenLoopPhasesModulateRate(t *testing.T) {
+	base := smallOpenLoop()
+	sys, err := wafl.NewSystem(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Attach(sys)
+	sys.Run(200 * wafl.Millisecond)
+	sys.Shutdown()
+
+	burst := smallOpenLoop()
+	burst.Phases = []Phase{{Name: "hot", Dur: 100 * wafl.Millisecond, RateMul: 3.0}}
+	sys2, err := wafl.NewSystem(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst.Attach(sys2)
+	sys2.Run(200 * wafl.Millisecond)
+	sys2.Shutdown()
+
+	// The 3x phase covers the whole run, so arrivals should roughly triple.
+	ratio := float64(burst.Arrivals) / float64(base.Arrivals)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("phase multiplier ineffective: %d vs %d arrivals (ratio %.2f, want ~3)",
+			burst.Arrivals, base.Arrivals, ratio)
+	}
+}
+
+// TestOpenLoopQueuesDoNotThrottle checks the defining open-loop property:
+// when service capacity is short, arrivals keep coming and the queue
+// grows — the generator never self-throttles to the service rate.
+func TestOpenLoopQueuesDoNotThrottle(t *testing.T) {
+	w := smallOpenLoop()
+	w.Workers = 1 // starve the LS class
+	w.BulkWorkers = 1
+	w.RatePerSec = 40000
+	sys, err := wafl.NewSystem(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Attach(sys)
+	sys.Run(200 * wafl.Millisecond)
+	sys.Shutdown()
+	if w.Arrivals <= w.Completed {
+		t.Fatalf("arrivals %d <= completions %d under starvation: workload is throttling",
+			w.Arrivals, w.Completed)
+	}
+	if w.LSQueueMax < 100 {
+		t.Fatalf("LS queue high-water %d: queue did not grow open-loop", w.LSQueueMax)
+	}
+	// Sojourn must include the queue wait: with hundreds queued behind one
+	// worker, the p99 is far beyond any single-op service time.
+	if p99 := wafl.Duration(w.LSLat.Quantile(0.99)); p99 < 5*wafl.Millisecond {
+		t.Fatalf("LS p99 sojourn %v too small: queue wait not accounted", p99)
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		w := smallOpenLoop()
+		w.Phases = []Phase{
+			{Name: "a", Dur: 50 * wafl.Millisecond, RateMul: 1},
+			{Name: "b", Dur: 50 * wafl.Millisecond, RateMul: 2},
+		}
+		sys, err := wafl.NewSystem(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Attach(sys)
+		sys.Run(150 * wafl.Millisecond)
+		sys.Shutdown()
+		return w.Arrivals, w.Completed
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if a1 != a2 || c1 != c2 {
+		t.Fatalf("nondeterministic open loop: (%d,%d) vs (%d,%d)", a1, c1, a2, c2)
+	}
+}
