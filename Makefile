@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race racecp bench crashcheck affcheck clustercheck overloadcheck ci clean
+.PHONY: all build test vet race racecp bench crashcheck affcheck clustercheck overloadcheck clonecheck ci clean
 
 all: build
 
@@ -27,6 +27,7 @@ bench:
 	$(GO) run ./cmd/waflbench -exp parallelcp -benchjson BENCH_PR5.json
 	$(GO) run ./cmd/waflbench -exp flexgroup -members 4 -benchjson BENCH_PR6.json
 	$(GO) run ./cmd/waflbench -exp overload -benchjson BENCH_PR7.json
+	$(GO) run ./cmd/waflbench -exp clonefleet -benchjson BENCH_PR8.json
 
 # crashcheck runs the bounded crash-schedule fault-injection sweep: crash at
 # dozens of reproducible points (event indices + CP phase boundaries),
@@ -61,10 +62,20 @@ overloadcheck:
 clustercheck:
 	$(GO) run ./cmd/waflbench -clustersweep -crashpoints 6 -crashseeds 1,2
 
+# clonecheck runs the clone/restore crash sweep: the in-repo per-boundary
+# crash tests (clone create, clone split, SnapRestore, each crashed at all
+# nine CP phase boundaries) plus the harness's scripted clone-ops window
+# (snapshot -> clone -> divergence -> split -> restore) crashed at 18
+# consecutive boundaries, every leg checked against the clone oracle + fsck.
+clonecheck:
+	$(GO) test -count=1 -run 'TestClone|TestSnapRestore|TestBCacheRestore' .
+	$(GO) run ./cmd/waflbench -clonecheck -clonepoints 18
+
 # ci is the gate run before merging: vet, build, the affinity-access gate,
 # the full test suite under the race detector, the bounded crash sweeps
-# (whole-node and single-member), and the admission-control SLO check.
-ci: vet build affcheck race racecp crashcheck clustercheck overloadcheck
+# (whole-node, single-member, and clone/restore), and the admission-control
+# SLO check.
+ci: vet build affcheck race racecp crashcheck clustercheck clonecheck overloadcheck
 
 clean:
 	rm -f wafltop waflbench *.test

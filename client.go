@@ -3,11 +3,13 @@ package wafl
 import (
 	"fmt"
 
+	"wafl/internal/aggregate"
 	"wafl/internal/bcache"
 	"wafl/internal/block"
 	"wafl/internal/nvlog"
 	"wafl/internal/obs"
 	"wafl/internal/sim"
+	"wafl/internal/waffinity"
 )
 
 // ClientCtx is a closed-loop client session: a simulated thread issuing
@@ -122,11 +124,46 @@ func (c *ClientCtx) reserveLog(m *Member, bytes uint64) (*nvlog.Reservation, Dur
 	return res, stalled
 }
 
+// stallRestore charges one restore-gate stall round: request a CP (the gate
+// reopens when the CP applying the restore commits) and wait it out.
+func (c *ClientCtx) stallRestore(m *Member) {
+	c.Stalled++
+	m.stalls++
+	m.engine.RequestCP()
+	m.engine.WaitCPDone(c.t)
+}
+
+// gatedCall runs fn inside aff, stalling and retrying while the volume's
+// SnapRestore gate is closed. The gate check and fn run in the same message
+// with no yield between them, so an operation that logs inside fn can never
+// place its record after a restore record the volume hasn't applied yet —
+// the invariant NVRAM replay depends on.
+func (c *ClientCtx) gatedCall(m *Member, v *aggregate.Volume, aff *waffinity.Affinity, fn func(wt *sim.Thread)) {
+	for {
+		gated := false
+		m.call(c.t, aff, sim.CatClient, func(wt *sim.Thread) {
+			if v.RestorePending() {
+				gated = true
+				return
+			}
+			fn(wt)
+		})
+		if !gated {
+			return
+		}
+		c.stallRestore(m)
+	}
+}
+
 // Write performs one client write of nblocks 4 KiB blocks at fbn: it logs
 // to NVRAM, then dirties the buffers inside the owning stripe affinities
 // (one message per stripe touched), and returns when the (logged) operation
 // is acknowledged — long before the data reaches a drive, as in the real
 // system.
+//
+// Writes respect the volume's SnapRestore gate: while a restore is pending
+// or uncommitted the op stalls, so no write record can land after a restore
+// record the volume has not applied.
 func (c *ClientCtx) Write(vol int, ino uint64, fbn FBN, nblocks int) Duration {
 	return c.WriteTag(vol, ino, fbn, nblocks, 0)
 }
@@ -150,46 +187,69 @@ func (c *ClientCtx) WriteTag(vol int, ino uint64, fbn FBN, nblocks int, tag byte
 	// Reserve NVRAM space up front (this is where overload stalls the op);
 	// the records themselves are appended inside the stripe messages,
 	// immediately adjacent to dirtying each buffer, so a record and its
-	// dirty state always land in the same CP generation.
-	res, stalled := c.reserveLog(m, recBytes)
-	// Group contiguous blocks by owning stripe affinity: one message each.
+	// dirty state always land in the same CP generation. A SnapRestore
+	// landing mid-op closes the volume's gate: the touched stripes abort,
+	// the reservation is released, and the whole op retries after the
+	// restore commits — re-appending already-logged blocks is idempotent
+	// (same content), and the pre-restore records are discarded identically
+	// in the live and replay legs.
+	var stalled Duration
 	v := m.a.Volume(lv)
-	for lo := 0; lo < nblocks; {
-		aff := m.stripeAff(lv, fbn+FBN(lo))
-		hi := lo + 1
-		for hi < nblocks && m.stripeAff(lv, fbn+FBN(hi)) == aff {
-			hi++
-		}
-		lo0, hi0 := lo, hi
-		m.call(c.t, aff, sim.CatClient, func(wt *sim.Thread) {
-			wt.Consume(sim.Duration(hi0-lo0) * sys.cfg.Costs.ClientPerBlock)
-			f := v.LookupFile(li)
-			if f == nil {
-				panic(fmt.Sprintf("wafl: write to nonexistent ino %d", ino))
+	for {
+		res, st := c.reserveLog(m, recBytes)
+		stalled += st
+		gated := false
+		// Group contiguous blocks by owning stripe affinity: one message each.
+		for lo := 0; lo < nblocks && !gated; {
+			aff := m.stripeAff(lv, fbn+FBN(lo))
+			hi := lo + 1
+			for hi < nblocks && m.stripeAff(lv, fbn+FBN(hi)) == aff {
+				hi++
 			}
-			for b := lo0; b < hi0; b++ {
-				// Post-recovery write path: install the block's existing
-				// location (and the indirect path) so the overwrite frees
-				// the old block instead of leaking it.
-				v.EnsureL0Resident(f, fbn+FBN(b))
-				// Log + dirty with no simulation primitive in between:
-				// atomic with respect to CP freezes. Records carry
-				// member-local coordinates.
-				res.Append(nvlog.Record{
-					Kind: nvlog.OpWrite, Vol: uint32(lv), Ino: li,
-					FBN: fbn + FBN(b), Data: blocks[b], LogicalBytes: block.Size,
-				})
-				f.WriteBlock(fbn+FBN(b), blocks[b])
-				if m.bc != nil {
-					// A freshly written block is buffer-cache resident.
-					m.bc.Insert(bcache.Key{Vol: lv, Ino: li, FBN: fbn + FBN(b)})
+			lo0, hi0 := lo, hi
+			m.call(c.t, aff, sim.CatClient, func(wt *sim.Thread) {
+				// Gate check and appends share the message: no yield between
+				// them, so no write record can follow an unapplied restore
+				// record.
+				if v.RestorePending() {
+					gated = true
+					return
 				}
-			}
-			v.MarkDirty(f)
-		})
-		lo = hi
+				wt.Consume(sim.Duration(hi0-lo0) * sys.cfg.Costs.ClientPerBlock)
+				f := v.LookupFile(li)
+				if f == nil {
+					panic(fmt.Sprintf("wafl: write to nonexistent ino %d", ino))
+				}
+				for b := lo0; b < hi0; b++ {
+					// Post-recovery write path: install the block's existing
+					// location (and the indirect path) so the overwrite frees
+					// the old block instead of leaking it.
+					v.EnsureL0Resident(f, fbn+FBN(b))
+					// Log + dirty with no simulation primitive in between:
+					// atomic with respect to CP freezes. Records carry
+					// member-local coordinates.
+					res.Append(nvlog.Record{
+						Kind: nvlog.OpWrite, Vol: uint32(lv), Ino: li,
+						FBN: fbn + FBN(b), Data: blocks[b], LogicalBytes: block.Size,
+					})
+					f.WriteBlock(fbn+FBN(b), blocks[b])
+					if m.bc != nil {
+						// A freshly written block is buffer-cache resident.
+						m.bc.Insert(bcache.Key{Vol: lv, Ino: li, FBN: fbn + FBN(b)})
+					}
+				}
+				v.MarkDirty(f)
+			})
+			lo = hi
+		}
+		res.Release()
+		if !gated {
+			break
+		}
+		rst := c.t.Now()
+		c.stallRestore(m)
+		stalled += Duration(c.t.Now() - rst)
 	}
-	res.Release()
 	// Landed writes convert this file's ingest reservation (if it was
 	// placed) into consumption the free-space counters now carry.
 	m.consumePlacement(lv, li, int64(nblocks))
@@ -351,22 +411,22 @@ func (c *ClientCtx) Create(vol int, maxBlocks uint64) uint64 {
 	start := c.t.Now()
 	var ino uint64
 	v := m.a.Volume(lv)
+	// Reserve the record's NVRAM space first so the append can run inside
+	// the affinity message, atomically adjacent to the namespace change —
+	// a restore record logged by another client can then never separate the
+	// create from its record.
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpCreate}.Size())
 	// Creates operate outside any single stripe: Volume Logical affinity.
-	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
+	c.gatedCall(m, v, m.logicalAff(lv), func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp)
 		f := v.CreateFile(maxBlocks)
 		ino = f.Ino()
+		res.Append(nvlog.Record{Kind: nvlog.OpCreate, Vol: uint32(lv), Ino: ino, MaxBlocks: maxBlocks})
 	})
+	res.Release()
 	// Bind the oldest unbound placement charge (if the volume came from
 	// PlaceFile) to this inode, so its writes decay the reservation.
 	m.bindPlacement(lv, ino)
-	rec := nvlog.Record{Kind: nvlog.OpCreate, Vol: uint32(lv), Ino: ino, MaxBlocks: maxBlocks}
-	for !m.log.Append(rec) {
-		c.Stalled++
-		m.stalls++
-		m.engine.RequestCP()
-		m.engine.WaitCPDone(c.t)
-	}
 	c.t.Consume(sys.cfg.Costs.ClientOp)
 	c.Ops++
 	m.opsDone++
@@ -394,21 +454,24 @@ func (c *ClientCtx) Delete(vol int, ino uint64) bool {
 	start := c.t.Now()
 	var ok bool
 	v := m.a.Volume(lv)
-	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpDelete}.Size())
+	c.gatedCall(m, v, m.logicalAff(lv), func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp / 2)
 		ok = v.DeleteFile(li)
+		if ok {
+			res.Append(nvlog.Record{Kind: nvlog.OpDelete, Vol: uint32(lv), Ino: li})
+		}
 	})
+	res.Release()
 	if ok {
 		// Refund whatever part of the file's ingest reservation its writes
 		// never consumed; without this, create/delete churn starves the
 		// placement score's reservation-net free space.
 		m.refundPlacement(lv, li)
-		rec := nvlog.Record{Kind: nvlog.OpDelete, Vol: uint32(lv), Ino: li}
-		for !m.log.Append(rec) {
-			c.Stalled++
-			m.stalls++
-			m.engine.RequestCP()
-			m.engine.WaitCPDone(c.t)
+		if m.bc != nil {
+			// Coherence: a later create can reuse this inode number; stale
+			// resident blocks must not satisfy its reads.
+			m.bc.InvalidateFile(lv, li)
 		}
 		if !m.log.HasFrozen() {
 			m.maybeTriggerCP()
@@ -450,17 +513,13 @@ func (c *ClientCtx) SnapCreate(vol int) uint64 {
 	start := c.t.Now()
 	var id uint64
 	v := m.a.Volume(lv)
-	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpSnapCreate}.Size())
+	c.gatedCall(m, v, m.logicalAff(lv), func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp)
 		id = v.RequestSnapshot()
+		res.Append(nvlog.Record{Kind: nvlog.OpSnapCreate, Vol: uint32(lv), Ino: id})
 	})
-	rec := nvlog.Record{Kind: nvlog.OpSnapCreate, Vol: uint32(lv), Ino: id}
-	for !m.log.Append(rec) {
-		c.Stalled++
-		m.stalls++
-		m.engine.RequestCP()
-		m.engine.WaitCPDone(c.t)
-	}
+	res.Release()
 	m.engine.RequestCP()
 	for !v.SnapshotExists(id) {
 		m.engine.WaitCPDone(c.t)
@@ -490,23 +549,160 @@ func (c *ClientCtx) SnapDelete(vol int, id uint64) bool {
 	start := c.t.Now()
 	var ok bool
 	v := m.a.Volume(lv)
-	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpSnapDelete}.Size())
+	c.gatedCall(m, v, m.logicalAff(lv), func(wt *sim.Thread) {
 		wt.Consume(sys.cfg.Costs.ClientOp / 2)
 		ok = v.DeleteSnapshot(id)
-	})
-	if ok {
-		rec := nvlog.Record{Kind: nvlog.OpSnapDelete, Vol: uint32(lv), Ino: id}
-		for !m.log.Append(rec) {
-			c.Stalled++
-			m.stalls++
-			m.engine.RequestCP()
-			m.engine.WaitCPDone(c.t)
+		if ok {
+			res.Append(nvlog.Record{Kind: nvlog.OpSnapDelete, Vol: uint32(lv), Ino: id})
 		}
+	})
+	res.Release()
+	if ok {
 		if !m.log.HasFrozen() {
 			m.maybeTriggerCP()
 		}
 	}
 	c.t.Consume(sys.cfg.Costs.ClientOp / 2)
+	c.Ops++
+	m.opsDone++
+	m.lat.Observe(int64(c.t.Now() - start))
+	return ok
+}
+
+// SnapRestore reverts the volume to snapshot id without copying data
+// blocks: the request is NVRAM-logged and queued, volatile state is
+// discarded immediately, and the next consistency point rebinds the active
+// file system to the snapshot's frozen image (O(metadata) — bitmap words
+// plus inode-file blocks). The volume's client gate closes at the request
+// and reopens when the applying CP commits; this call blocks until then, so
+// an acknowledged SnapRestore always survives a crash. Returns false if the
+// snapshot does not exist (nor is pending).
+func (c *ClientCtx) SnapRestore(vol int, id uint64) bool {
+	sys := c.sys
+	m, lv := sys.volMember(vol)
+	start := c.t.Now()
+	var ok bool
+	v := m.a.Volume(lv)
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpSnapRestore}.Size())
+	m.call(c.t, m.logicalAff(lv), sim.CatClient, func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp)
+		ok = v.RequestRestore(id)
+		if ok {
+			res.Append(nvlog.Record{Kind: nvlog.OpSnapRestore, Vol: uint32(lv), Ino: id})
+		}
+	})
+	res.Release()
+	if ok {
+		m.engine.RequestCP()
+		for v.RestorePending() {
+			m.engine.WaitCPDone(c.t)
+			if v.RestorePending() {
+				m.engine.RequestCP()
+			}
+		}
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	lat := Duration(c.t.Now() - start)
+	if tr := c.t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, c.t.TrackID(), "client", "snap-restore",
+			int64(start), int64(c.t.Now()), int64(id))
+		tr.Observe("client.restore", int64(lat))
+	}
+	c.Ops++
+	m.opsDone++
+	m.lat.Observe(int64(lat))
+	return ok
+}
+
+// CloneCreate binds a free clone slot on the parent's member as a writable
+// clone of snapshot snapID and returns the clone's global volume index. The
+// slot scan, parent delete guard, and NVRAM record land in one affinity
+// message, so two in-flight creates can never race for a slot or a deleted
+// snapshot. Blocks until a consistency point has materialized the bind (the
+// clone starts by sharing every base block with the parent snapshot —
+// no data is copied). Returns (-1, false) if the snapshot does not exist or
+// every clone slot on the member is taken.
+func (c *ClientCtx) CloneCreate(parentVol int, snapID uint64) (int, bool) {
+	sys := c.sys
+	m, plv := sys.volMember(parentVol)
+	start := c.t.Now()
+	pv := m.a.Volume(plv)
+	slot := -1
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpCloneCreate}.Size())
+	c.gatedCall(m, pv, m.logicalAff(plv), func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp)
+		if !pv.SnapshotExists(snapID) {
+			return
+		}
+		for s := sys.cfg.Volumes; s < sys.cfg.Volumes+sys.cfg.CloneSlots; s++ {
+			if m.a.Volume(s).CloneSlotFree() {
+				slot = s
+				break
+			}
+		}
+		if slot < 0 {
+			return
+		}
+		m.a.Volume(slot).RequestCloneBind(plv, snapID)
+		pv.AddCloneRef(snapID)
+		res.Append(nvlog.Record{
+			Kind: nvlog.OpCloneCreate, Vol: uint32(slot), Ino: snapID, FBN: FBN(plv),
+		})
+	})
+	res.Release()
+	if slot < 0 {
+		c.Ops++
+		m.opsDone++
+		return -1, false
+	}
+	cv := m.a.Volume(slot)
+	m.engine.RequestCP()
+	for !cv.IsClone() {
+		m.engine.WaitCPDone(c.t)
+		if !cv.IsClone() {
+			m.engine.RequestCP()
+		}
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
+	lat := Duration(c.t.Now() - start)
+	if tr := c.t.Tracer(); tr != nil {
+		tr.SpanArg(obs.PidThreads, c.t.TrackID(), "client", "clone-create",
+			int64(start), int64(c.t.Now()), int64(slot))
+		tr.Observe("client.clone", int64(lat))
+	}
+	c.Ops++
+	m.opsDone++
+	m.lat.Observe(int64(lat))
+	return sys.globalVol(m.id, slot), true
+}
+
+// CloneSplit starts splitting the clone from its parent snapshot: each
+// subsequent consistency point block-copies a bounded batch of still-shared
+// base blocks through the normal COW write path until none remain, then the
+// parent holds and delete guard drop. The call is NVRAM-logged and returns
+// as soon as the split is queued (the copy is background work); poll
+// System.CloneSplitDone or Flush to drive it to completion. Returns false if
+// the volume is not a clone.
+func (c *ClientCtx) CloneSplit(vol int) bool {
+	sys := c.sys
+	m, lv := sys.volMember(vol)
+	start := c.t.Now()
+	var ok bool
+	v := m.a.Volume(lv)
+	res, _ := c.reserveLog(m, nvlog.Record{Kind: nvlog.OpCloneSplit}.Size())
+	c.gatedCall(m, v, m.logicalAff(lv), func(wt *sim.Thread) {
+		wt.Consume(sys.cfg.Costs.ClientOp)
+		ok = v.StartSplit()
+		if ok {
+			res.Append(nvlog.Record{Kind: nvlog.OpCloneSplit, Vol: uint32(lv)})
+		}
+	})
+	res.Release()
+	if ok {
+		m.engine.RequestCP()
+	}
+	c.t.Consume(sys.cfg.Costs.ClientOp)
 	c.Ops++
 	m.opsDone++
 	m.lat.Observe(int64(c.t.Now() - start))
@@ -595,20 +791,35 @@ type FreeSpace struct {
 	Active   uint64
 	SnapOnly uint64
 	Free     uint64
+
+	// CloneHeld counts base VVBNs a bound clone still shares with its parent
+	// snapshot (their physical homes are parent-owned); SplitPending counts
+	// the subset still live in the active map that a running split has yet to
+	// block-copy. Both are zero for ordinary volumes.
+	CloneHeld    uint64
+	SplitPending uint64
 }
 
 // FreeSpaceBreakdown computes the volume's active / snap-held / free block
-// counts from the live activemap and snapshot summary map.
+// counts from the live activemap and snapshot summary map, plus the
+// clone-held and split-pending counts for clone volumes.
 func (sys *System) FreeSpaceBreakdown(vol int) FreeSpace {
 	m, lv := sys.volMember(vol)
 	v := m.a.Volume(lv)
 	total := v.VVBNBlocks()
 	free, _ := v.Activemap.CountFreeNotIn(v.Summary, 0, total)
 	active := v.Activemap.Used()
-	return FreeSpace{
+	fsb := FreeSpace{
 		Total:    total,
 		Active:   active,
 		SnapOnly: total - active - free,
 		Free:     free,
 	}
+	if st := v.CloneState(); st != nil {
+		fsb.CloneHeld = st.Held()
+		if st.Splitting {
+			fsb.SplitPending = v.CloneLiveBase()
+		}
+	}
+	return fsb
 }

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol parallelcp flexgroup overload all")
+	exp := flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 batch ablations snapchurn agedvol clonefleet parallelcp flexgroup overload all")
 	benchjson := flag.String("benchjson", "", "write machine-readable results (ops/sec, fill words, walloc cores, get waits) to this JSON file")
 	window := flag.Duration("window", 400*time.Millisecond, "measurement window (simulated)")
 	warmup := flag.Duration("warmup", 200*time.Millisecond, "warmup (simulated)")
@@ -41,6 +41,8 @@ func main() {
 	crashSeeds := flag.String("crashseeds", "1,2", "crashsweep: comma-separated workload seeds")
 	crashPhases := flag.Int("crashphases", 9, "crashsweep: CP phase-boundary crash points (0 = off)")
 	clustersweep := flag.Bool("clustersweep", false, "run the independent member-crash sweep instead of the figures")
+	clonecheck := flag.Bool("clonecheck", false, "run the clone/restore crash sweep (clone create, split, SnapRestore crashed at CP phase boundaries) instead of the figures")
+	clonePoints := flag.Int("clonepoints", 18, "clonecheck: CP phase-boundary crash points inside the clone-ops window")
 	overloadcheck := flag.Bool("overloadcheck", false, "run the admission-control SLO check instead of the figures (exit 1 on violation)")
 	flag.Parse()
 
@@ -61,6 +63,10 @@ func main() {
 	}
 	if *clustersweep {
 		runClusterSweep(*members, *crashPoints, *crashSeeds)
+		return
+	}
+	if *clonecheck {
+		runCloneCheck(*clonePoints)
 		return
 	}
 
@@ -137,6 +143,11 @@ func main() {
 		benchResults = append(benchResults, res...)
 		return t, err
 	})
+	run("clonefleet", func() (harness.Table, error) {
+		t, res, err := harness.CloneFleet(rc)
+		benchResults = append(benchResults, res...)
+		return t, err
+	})
 	run("parallelcp", func() (harness.Table, error) {
 		t, res, err := harness.ParallelCP(rc)
 		benchResults = append(benchResults, res...)
@@ -206,6 +217,30 @@ func runCrashSweep(points int, seeds string, phases int) {
 	}
 	fmt.Println(tab.String())
 	fmt.Printf("(crashsweep took %.1fs host time)\n", time.Since(start).Seconds())
+	if !res.OK() {
+		os.Exit(1)
+	}
+}
+
+// runCloneCheck executes only the clone-ops crash schedule — the scripted
+// snapshot → clone create → divergence → split → SnapRestore window crashed
+// at consecutive CP phase boundaries — and exits nonzero on any failure.
+func runCloneCheck(points int) {
+	cfg := harness.DefaultCrashSweep()
+	cfg.Points = 0
+	cfg.Phases = 0
+	cfg.Overload = false
+	cfg.CloneOps = true
+	cfg.ClonePoints = points
+	cfg.Seeds = []int64{1}
+	start := time.Now()
+	tab, res, err := harness.CrashSweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clonecheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tab.String())
+	fmt.Printf("(clonecheck took %.1fs host time)\n", time.Since(start).Seconds())
 	if !res.OK() {
 		os.Exit(1)
 	}

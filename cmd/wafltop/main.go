@@ -25,7 +25,7 @@ import (
 func main() {
 	treeOnly := flag.Bool("tree", false, "print the affinity hierarchy only")
 	runFor := flag.Duration("run", 200*time.Millisecond, "simulated run length")
-	wl := flag.String("workload", "seq", "workload: seq | random | oltp | nfs | snapchurn")
+	wl := flag.String("workload", "seq", "workload: seq | random | oltp | nfs | snapchurn | clonefleet")
 	cleaners := flag.Int("cleaners", 4, "cleaner threads")
 	members := flag.Int("members", 1, "cluster width (FlexGroup constituents)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
@@ -37,6 +37,16 @@ func main() {
 	cfg.Allocator.MaxCleaners = *cleaners
 	if *members > 1 {
 		cfg.Members = *members
+	}
+	// The clone fleet brings its own volume shape: dense parents plus the
+	// clone slots the fan-out binds into.
+	var fleet workload.CloneFleet
+	if *wl == "clonefleet" {
+		fleet = workload.DefaultCloneFleet()
+		cfg.Volumes = fleet.Volumes
+		cfg.CloneSlots = fleet.Slots()
+		cfg.VolumeBlocks = 1 << 18
+		cfg.DriveBlocks = 131072
 	}
 	if *traceOut != "" {
 		cfg.Trace = true
@@ -77,6 +87,9 @@ func main() {
 		w.Clients *= n
 		w.Volumes = sys.TotalVolumes()
 		w.Attach(sys)
+	case "clonefleet":
+		// Brings its own clients/volumes; prefilled and cloned in Attach.
+		fleet.Attach(sys)
 	default:
 		w := workload.DefaultSeqWrite()
 		w.Clients *= n
@@ -132,6 +145,20 @@ func main() {
 	}
 	fmt.Printf("snapshot ops: %d created, %d deleted, %d blocks reclaimed\n", created, deleted, reclaimed)
 	fmt.Println()
+	if cs := sys.CloneStats(); cs.Binds > 0 || cs.Restores > 0 || cs.Bound > 0 {
+		fmt.Println("=== clones & restores ===")
+		fmt.Printf("%-6s  %-6s  %-6s  %10s  %12s\n", "clone", "parent", "snap", "base-held", "split-pend")
+		for _, cv := range sys.CloneVolumes() {
+			fs := sys.FreeSpaceBreakdown(cv)
+			pv, ps, _ := sys.CloneParent(cv)
+			fmt.Printf("%-6d  %-6d  %-6d  %10d  %12d\n", cv, pv, ps, fs.CloneHeld, fs.SplitPending)
+		}
+		fmt.Printf("clone ops: %d bound (%d live, %d splitting), %d splits done (%d blocks copied)\n",
+			cs.Binds, cs.Bound, cs.Splitting, cs.SplitsDone, cs.SplitCopied)
+		fmt.Printf("restore ops: %d restores, %d blocks freed, %d metadata blocks rewritten\n",
+			cs.Restores, cs.RestoreFreed, cs.RestoreBlocks)
+		fmt.Println()
+	}
 	fmt.Println("=== affinity hierarchy (Fig 1), messages executed ===")
 	fmt.Print(sys.Hierarchy())
 

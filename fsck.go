@@ -105,12 +105,19 @@ func (mem *Member) fsck() FsckReport {
 		}
 	}
 
-	var walk func(f *fs.File, tag string, onL0 func(idx block.FBN, vvbn block.VVBN, vbn block.VBN))
-	walk = func(f *fs.File, tag string, onL0 func(block.FBN, block.VVBN, block.VBN)) {
+	// walkSkip traverses a buffer tree on media. skip (nil for most trees)
+	// suppresses the physical reference for blocks whose VVBN it reports
+	// true for: a clone's base blocks are physically owned — and referenced
+	// — by the parent snapshot, so counting the clone's pointer too would
+	// read as a double reference.
+	var walkSkip func(f *fs.File, tag string, skip func(block.VVBN) bool, onL0 func(idx block.FBN, vvbn block.VVBN, vbn block.VBN))
+	walkSkip = func(f *fs.File, tag string, skip func(block.VVBN) bool, onL0 func(block.FBN, block.VVBN, block.VBN)) {
 		if f.RootVBN == block.InvalidVBN {
 			return
 		}
-		ref(f.RootVBN, tag+" root")
+		if skip == nil || f.RootVVBN == block.InvalidVVBN || !skip(f.RootVVBN) {
+			ref(f.RootVBN, tag+" root")
+		}
 		var rec func(level int, idx block.FBN, vbn block.VBN)
 		rec = func(level int, idx block.FBN, vbn block.VBN) {
 			data := m.ReadVBNRaw(vbn)
@@ -128,7 +135,9 @@ func (mem *Member) fsck() FsckReport {
 					continue
 				}
 				childIdx := idx*block.PtrsPerBlock + block.FBN(i)
-				ref(cvbn, fmt.Sprintf("%s L%d", tag, level-1))
+				if skip == nil || cvv == block.InvalidVVBN || !skip(cvv) {
+					ref(cvbn, fmt.Sprintf("%s L%d", tag, level-1))
+				}
 				if level-1 == 0 && onL0 != nil {
 					onL0(childIdx, cvv, cvbn)
 				}
@@ -136,6 +145,9 @@ func (mem *Member) fsck() FsckReport {
 			}
 		}
 		rec(f.Height(), 0, f.RootVBN)
+	}
+	walk := func(f *fs.File, tag string, onL0 func(block.FBN, block.VVBN, block.VBN)) {
+		walkSkip(f, tag, nil, onL0)
 	}
 
 	walk(m.AmapFile(), "aggr-amap", nil)
@@ -147,6 +159,24 @@ func (mem *Member) fsck() FsckReport {
 		walk(v.AmapFile(), fmt.Sprintf("vol%d-amap", v.ID()), nil)
 		walk(v.SnapdirFile(), fmt.Sprintf("vol%d-snapdir", v.ID()), nil)
 		walk(v.SummaryFile(), fmt.Sprintf("vol%d-summary", v.ID()), nil)
+		// Clone state: the base map metafile is an ordinary clone-owned
+		// metafile; base-marked VVBNs resolve to parent-owned physical
+		// blocks the parent snapshot references, so the clone's own tree
+		// pointers to them must not be counted as references.
+		st := v.CloneState()
+		var inBase func(block.VVBN) bool
+		var parent *aggregate.Volume
+		if st != nil {
+			walk(st.BaseFile, fmt.Sprintf("vol%d-basemap", v.ID()), nil)
+			inBase = func(vv block.VVBN) bool { return st.Base.IsSet(uint64(vv)) }
+			parent = m.Volume(st.ParentVol)
+			if !parent.SnapshotExists(st.ParentSnap) {
+				r.SnapErrs++
+				r.Errors = appendCapped(r.Errors, fmt.Sprintf(
+					"vol%d: clone of vol%d snap %d but the snapshot is gone (delete guard breached)",
+					v.ID(), st.ParentVol, st.ParentSnap))
+			}
+		}
 		snaps := v.Snapshots()
 		r.Snapshots += uint64(len(snaps))
 		for _, s := range snaps {
@@ -161,7 +191,7 @@ func (mem *Member) fsck() FsckReport {
 			}
 			r.Files++
 			tag := fmt.Sprintf("vol%d-ino%d", v.ID(), ino)
-			walk(f, tag, func(idx block.FBN, vvbn block.VVBN, vbn block.VBN) {
+			walkSkip(f, tag, inBase, func(idx block.FBN, vvbn block.VVBN, vbn block.VBN) {
 				if vvbn == block.InvalidVVBN {
 					return
 				}
@@ -176,14 +206,18 @@ func (mem *Member) fsck() FsckReport {
 		}
 		// Snapshot cross-checks, bit by bit over the VVBN space. The
 		// persisted summary map must equal the OR of the persisted
-		// snapmaps: a summary bit no snapshot owns pins a block forever
-		// (space held with no owner); a snapmap bit missing from the
-		// summary lets the allocator reuse a block a snapshot still
+		// snapmaps — OR'd with the base map for a clone: a summary bit no
+		// owner holds pins a block forever (space held with no owner); a
+		// snapmap/base bit missing from the summary lets the allocator
+		// reuse a block a snapshot (or the parent-shared base) still
 		// references. A VVBN held only by snapshots (clear in the
 		// activemap) must still have a valid container entry — that entry
 		// is the only path to the block's physical home, which we
 		// reference here so snapshot-held blocks are neither leaked nor
-		// reclaimable in the aggregate check below.
+		// reclaimable in the aggregate check below. Base-held VVBNs resolve
+		// to parent-owned physical blocks: the parent references them, so
+		// here we only verify the clone's container agrees with the
+		// parent's (shared addressing) instead of referencing again.
 		for bn := uint64(0); bn < v.VVBNBlocks(); bn++ {
 			held := false
 			for _, s := range snaps {
@@ -192,13 +226,25 @@ func (mem *Member) fsck() FsckReport {
 					break
 				}
 			}
-			if sum := v.Summary.IsSet(bn); sum != held {
+			baseHeld := st != nil && st.Base.IsSet(bn)
+			if sum := v.Summary.IsSet(bn); sum != (held || baseHeld) {
 				r.SnapErrs++
 				if sum {
-					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: summary bit %d set but no snapshot holds it", v.ID(), bn))
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: summary bit %d set but no snapshot or base holds it", v.ID(), bn))
 				} else {
-					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: vvbn %d held by a snapmap but clear in summary", v.ID(), bn))
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: vvbn %d held by a snapmap or the base map but clear in summary", v.ID(), bn))
 				}
+			}
+			if baseHeld {
+				pvbn := v.Container(block.VVBN(bn))
+				if pvbn == 0 || pvbn == block.InvalidVBN {
+					r.SnapErrs++
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: base-held vvbn %d has no container entry", v.ID(), bn))
+				} else if pp := parent.Container(block.VVBN(bn)); pp != pvbn {
+					r.SnapErrs++
+					r.Errors = appendCapped(r.Errors, fmt.Sprintf("vol%d: base vvbn %d container=%v but parent vol%d has %v", v.ID(), bn, pvbn, st.ParentVol, pp))
+				}
+				continue
 			}
 			if held && !v.Activemap.IsSet(bn) {
 				pvbn := v.Container(block.VVBN(bn))

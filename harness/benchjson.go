@@ -36,6 +36,17 @@ type BenchResult struct {
 	VBucketsFilled      uint64  `json:"vbuckets_filled"`
 	FillWordsPerVBucket float64 `json:"fill_words_per_vbucket"`
 	GetWaits            uint64  `json:"get_waits"`
+
+	// Clone/restore fields (clonefleet experiment).
+	CloneBinds        uint64  `json:"clone_binds,omitempty"`
+	CloneHeld         uint64  `json:"clone_held_blocks,omitempty"`
+	SplitsDone        uint64  `json:"splits_done,omitempty"`
+	SplitCopied       uint64  `json:"split_copied_blocks,omitempty"`
+	Restores          uint64  `json:"restores,omitempty"`
+	RestoreFreed      uint64  `json:"restore_freed_blocks,omitempty"`
+	RestoreBlocks     uint64  `json:"restore_metadata_blocks,omitempty"`
+	RestoreMetaPerOp  float64 `json:"restore_metadata_per_op,omitempty"`
+	RestoreMetaPerVol float64 `json:"restore_metadata_vs_volume,omitempty"`
 }
 
 // benchResultFrom assembles a BenchResult from a window's Results and the

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"wafl"
 )
@@ -48,6 +49,17 @@ type CrashSweepConfig struct {
 	// must replay exactly the admitted (logged, acked) writes — shed writes
 	// were never logged and must stay absent from the contract.
 	Overload bool
+	// CloneOps adds ClonePoints CP phase-boundary crash points taken inside
+	// a scripted clone window (snapshot → parent churn → clone create →
+	// clone writes → clone split → SnapRestore → post-restore writes), each
+	// verified against a dedicated oracle: an acked clone serves the frozen
+	// parent image plus its own acked writes, an acked restore is
+	// all-or-nothing and supersedes the parent's post-snapshot churn, and
+	// fsck must hold zero leaked/missing blocks on every recovery leg.
+	CloneOps bool
+	// ClonePoints is how many boundary points the clone-ops schedule
+	// sweeps (0 with CloneOps set means 12 — more than one full CP).
+	ClonePoints int
 }
 
 // DefaultCrashSweep returns a bounded sweep sized for CI: a small server,
@@ -87,6 +99,8 @@ func DefaultCrashSweep() CrashSweepConfig {
 		MaxRun:       2 * wafl.Second,
 		Modes:        []bool{true, false},
 		Overload:     true,
+		CloneOps:     true,
+		ClonePoints:  12,
 	}
 }
 
@@ -354,19 +368,29 @@ func verifyAcked(sys *wafl.System, ack *ackLog, label string, fails []string) []
 // verification probes for the hole direction.
 const sampleHoles = 8
 
+// verifyFn checks one recovery leg against an oracle, appending failures.
+type verifyFn func(sys *wafl.System, label string, fails []string) []string
+
+// ackedVerifier adapts a frozen ackLog to the pluggable verifier shape.
+func ackedVerifier(acked *ackLog) verifyFn {
+	return func(sys *wafl.System, label string, fails []string) []string {
+		return verifyAcked(sys, acked, label, fails)
+	}
+}
+
 // crashCycle performs the full per-crash-point check on a halted system:
 // crash → recover → verify + fsck, immediately crash the recovered system
 // again (double crash, before it runs) → recover → verify + fsck, then let
 // it quiesce and verify the final committed image. Returns the surviving
 // failure list and the final system (for Shutdown), which may be nil if
 // recovery itself failed.
-func crashCycle(sys *wafl.System, acked *ackLog, label string, fails []string) ([]string, *wafl.System) {
+func crashCycle(sys *wafl.System, verify verifyFn, label string, fails []string) ([]string, *wafl.System) {
 	sys.Crash()
 	rec, err := sys.Recover()
 	if err != nil {
 		return append(fails, fmt.Sprintf("%s: recovery failed: %v", label, err)), nil
 	}
-	fails = verifyAcked(rec, acked, label+"/recover", fails)
+	fails = verify(rec, label+"/recover", fails)
 	if r := rec.Fsck(); !r.OK() {
 		fails = append(fails, fmt.Sprintf("%s/recover: %s", label, r))
 	}
@@ -379,7 +403,7 @@ func crashCycle(sys *wafl.System, acked *ackLog, label string, fails []string) (
 	if err != nil {
 		return append(fails, fmt.Sprintf("%s: double-crash recovery failed: %v", label, err)), nil
 	}
-	fails = verifyAcked(rec2, acked, label+"/double", fails)
+	fails = verify(rec2, label+"/double", fails)
 	if r := rec2.Fsck(); !r.OK() {
 		fails = append(fails, fmt.Sprintf("%s/double: %s", label, r))
 	}
@@ -388,7 +412,7 @@ func crashCycle(sys *wafl.System, acked *ackLog, label string, fails []string) (
 	if err := rec2.Quiesce(); err != nil {
 		fails = append(fails, fmt.Sprintf("%s: quiesce: %v", label, err))
 	}
-	fails = verifyAcked(rec2, acked, label+"/quiesced", fails)
+	fails = verify(rec2, label+"/quiesced", fails)
 	if r := rec2.Fsck(); !r.OK() {
 		fails = append(fails, fmt.Sprintf("%s/quiesced: %s", label, r))
 	}
@@ -418,6 +442,9 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 	if len(modes) == 0 {
 		modes = []bool{cfg.Base.Allocator.ParallelCP}
 	}
+	if cfg.Points == 0 && cfg.Phases == 0 {
+		modes = nil // clone-ops/overload-only invocation: skip the baselines
+	}
 	for _, parallel := range modes {
 		cfg := cfg
 		cfg.Base.Allocator.ParallelCP = parallel
@@ -431,6 +458,11 @@ func CrashSweep(cfg CrashSweepConfig) (Table, CrashSweepResult, error) {
 	}
 	if cfg.Overload {
 		if err := overloadCrashPoint(cfg, &tab, &res); err != nil {
+			return tab, res, err
+		}
+	}
+	if cfg.CloneOps {
+		if err := cloneCrashPoints(cfg, &tab, &res); err != nil {
 			return tab, res, err
 		}
 	}
@@ -510,7 +542,7 @@ func overloadCrashPoint(cfg CrashSweepConfig, tab *Table, res *CrashSweepResult)
 		sys.Shutdown()
 	} else {
 		var final *wafl.System
-		res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
+		res.Failures, final = crashCycle(sys, ackedVerifier(ack.freeze()), label, res.Failures)
 		res.PointsRun++
 		if final != nil {
 			final.Shutdown()
@@ -560,7 +592,7 @@ func crashSweepMode(cfg CrashSweepConfig, modeTag string, tab *Table, res *Crash
 				continue
 			}
 			var final *wafl.System
-			res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
+			res.Failures, final = crashCycle(sys, ackedVerifier(ack.freeze()), label, res.Failures)
 			res.PointsRun++
 			if final != nil {
 				final.Shutdown()
@@ -612,7 +644,7 @@ func crashSweepMode(cfg CrashSweepConfig, modeTag string, tab *Table, res *Crash
 			}
 			label := fmt.Sprintf("seed%d@phase%d(%s)/%s", seed, j, phaseName, modeTag)
 			var final *wafl.System
-			res.Failures, final = crashCycle(sys, ack.freeze(), label, res.Failures)
+			res.Failures, final = crashCycle(sys, ackedVerifier(ack.freeze()), label, res.Failures)
 			res.PointsRun++
 			points++
 			if final != nil {
@@ -626,5 +658,251 @@ func crashSweepMode(cfg CrashSweepConfig, modeTag string, tab *Table, res *Crash
 			"-", fmt.Sprintf("%d", len(res.Failures)-failsBefore),
 		})
 	}
+	return nil
+}
+
+// The clone-ops crash script writes four disjoint FBN spans of one base
+// file so every recovery leg can attribute each block to a script step:
+// the frozen image (pre-snapshot), parent churn (post-snapshot, reverted
+// by SnapRestore), clone-side divergence, and post-restore writes.
+const (
+	cloneImgBlocks  = 64 // fbn 0..63: pre-snapshot writes, the frozen image
+	cloneChurnBase  = 64 // fbn 64..95: post-snapshot parent churn
+	cloneChurnSpan  = 32 //   (block 64 doubles as the restore-leg probe)
+	cloneWriteBase  = 96 // fbn 96..111: clone-side divergence after the bind
+	cloneWriteSpan  = 16
+	clonePostBase   = 128 // fbn 128..135: parent writes after the restore ack
+	clonePostSpan   = 8
+	cloneSampleStep = 8 // image sampling stride for per-leg verification
+)
+
+// cloneAckState is the clone-window script's acknowledged progress, copied
+// by value at the instant of the crash so verification sees exactly the
+// contract the crashed system had acknowledged.
+type cloneAckState struct {
+	vol, cloneVol           int
+	ino, snapID             uint64
+	churnAcked              int // churn blocks acked before the crash
+	cloneAcked              int // clone-divergence blocks acked
+	postAcked               int // post-restore blocks acked
+	cloneIssued, splitAcked bool
+	restoreIssued, restored bool
+	done                    bool
+}
+
+// cloneVerifier builds the per-leg oracle for one clone-ops crash point.
+func cloneVerifier(st cloneAckState) verifyFn {
+	return func(sys *wafl.System, label string, fails []string) []string {
+		add := func(msg string) {
+			if len(fails) < 40 {
+				fails = append(fails, fmt.Sprintf("%s: %s", label, msg))
+			}
+		}
+		quiesced := strings.HasSuffix(label, "/quiesced")
+
+		// The snapshot was acked before the window opened: it must exist on
+		// every leg and still serve its exact frozen image (data inside the
+		// image span, a hole where only post-snapshot churn wrote).
+		if !sys.SnapshotExists(st.vol, st.snapID) {
+			add(fmt.Sprintf("acked snapshot %d lost", st.snapID))
+		} else {
+			for fbn := wafl.FBN(0); fbn < cloneImgBlocks; fbn += cloneSampleStep {
+				if err := sys.SnapVerifyAgainst(st.vol, st.snapID, st.ino, fbn, true); err != nil {
+					add(fmt.Sprintf("snapshot image: %v", err))
+					break
+				}
+			}
+			if err := sys.SnapVerifyAgainst(st.vol, st.snapID, st.ino, cloneChurnBase, false); err != nil {
+				add(fmt.Sprintf("snapshot image: %v", err))
+			}
+		}
+
+		// Parent, image span: in the snapshot and never deleted, so it is
+		// data whether or not the revert committed.
+		for fbn := wafl.FBN(0); fbn < cloneImgBlocks; fbn += cloneSampleStep {
+			if err := sys.VerifyAgainst(st.vol, st.ino, fbn); err != nil {
+				add(fmt.Sprintf("parent image span: %v", err))
+				break
+			}
+		}
+
+		// Parent, churn span: the probe block decides which restore leg this
+		// recovery landed on — a hole iff the revert committed. An acked
+		// restore must have committed, and whichever leg holds, the whole
+		// churn span must agree with the probe: that is the all-or-nothing
+		// check on SnapRestore.
+		restored := sys.VerifyRead(st.vol, st.ino, cloneChurnBase) == nil
+		if st.restored && !restored {
+			add("acked SnapRestore lost")
+		}
+		if !st.restoreIssued && restored {
+			add("restore applied but never issued")
+		}
+		for b := 0; b < st.churnAcked; b++ {
+			fbn := wafl.FBN(cloneChurnBase + b)
+			if restored {
+				if sys.VerifyRead(st.vol, st.ino, fbn) != nil {
+					add(fmt.Sprintf("torn restore: churn fbn %d survived the revert", fbn))
+					break
+				}
+			} else if err := sys.VerifyAgainst(st.vol, st.ino, fbn); err != nil {
+				add(fmt.Sprintf("torn restore: %v", err))
+				break
+			}
+		}
+		for b := 0; b < st.postAcked; b++ {
+			if err := sys.VerifyAgainst(st.vol, st.ino, wafl.FBN(clonePostBase+b)); err != nil {
+				add(fmt.Sprintf("acked post-restore write lost: %v", err))
+				break
+			}
+		}
+
+		// Clone content: the frozen image plus the acked divergence writes,
+		// and none of the parent's post-snapshot churn. Holds at the same
+		// address whether the clone is still summary-held or a completed
+		// split already promoted it to a normal volume.
+		checkClone := func(cv, cloneWrites int) {
+			for fbn := wafl.FBN(0); fbn < cloneImgBlocks; fbn += cloneSampleStep {
+				if err := sys.VerifyAgainst(cv, st.ino, fbn); err != nil {
+					add(fmt.Sprintf("clone base image: %v", err))
+					return
+				}
+			}
+			if sys.VerifyRead(cv, st.ino, cloneChurnBase) != nil {
+				add("clone leaked post-snapshot parent churn")
+			}
+			for b := 0; b < cloneWrites; b++ {
+				if err := sys.VerifyAgainst(cv, st.ino, wafl.FBN(cloneWriteBase+b)); err != nil {
+					add(fmt.Sprintf("acked clone write lost: %v", err))
+					return
+				}
+			}
+		}
+		if st.cloneVol >= 0 {
+			// The create acked, so the bind had committed: the clone serves
+			// its contract on every leg, including after the parent restore.
+			checkClone(st.cloneVol, st.cloneAcked)
+		} else if st.cloneIssued {
+			// Issued but unacked: the logged intent may have replayed. Any
+			// clone recovery surfaces must be pending or bound — and once
+			// bound (mandatory after quiesce) it serves exactly the frozen
+			// image, since no divergence write was issued before the ack.
+			for _, cv := range sys.CloneVolumes() {
+				if !sys.CloneBound(cv) {
+					if quiesced {
+						add(fmt.Sprintf("replayed clone %d still unbound after quiesce", cv))
+					}
+					continue
+				}
+				checkClone(cv, 0)
+			}
+		}
+		return fails
+	}
+}
+
+// cloneCrashPoints runs the scripted clone window once per boundary index
+// j = 1..ClonePoints, crashing at the j-th CP phase boundary hit after the
+// window opens and driving the full crash → double-crash → quiesce cycle
+// against the clone oracle.
+func cloneCrashPoints(cfg CrashSweepConfig, tab *Table, res *CrashSweepResult) error {
+	c := cfg.Base
+	if len(cfg.Seeds) > 0 {
+		c.Seed = cfg.Seeds[0]
+	}
+	c.CloneSlots = 2
+	points := cfg.ClonePoints
+	if points <= 0 {
+		points = 12
+	}
+	failsBefore := len(res.Failures)
+	ran := 0
+	for j := 1; j <= points; j++ {
+		sys, err := wafl.NewSystem(c)
+		if err != nil {
+			return err
+		}
+		ino := sys.CreateFileDirect(0, 256)
+		if err := sys.Flush(); err != nil {
+			sys.Shutdown()
+			return fmt.Errorf("cloneops setup flush: %w", err)
+		}
+		st := &cloneAckState{vol: 0, cloneVol: -1, ino: ino}
+		window := false
+		sys.ClientThread("cloneops", func(cc *wafl.ClientCtx) {
+			cc.Write(st.vol, ino, 0, cloneImgBlocks)
+			st.snapID = cc.SnapCreate(st.vol)
+			for b := 0; b < cloneChurnSpan; b++ {
+				cc.Write(st.vol, ino, wafl.FBN(cloneChurnBase+b), 1)
+				st.churnAcked++
+			}
+			window = true
+			st.cloneIssued = true
+			if cv, ok := cc.CloneCreate(st.vol, st.snapID); ok {
+				st.cloneVol = cv
+				for b := 0; b < cloneWriteSpan; b++ {
+					cc.Write(cv, ino, wafl.FBN(cloneWriteBase+b), 1)
+					st.cloneAcked++
+				}
+				if cc.CloneSplit(cv) {
+					st.splitAcked = true
+				}
+			}
+			st.restoreIssued = true
+			if cc.SnapRestore(st.vol, st.snapID) {
+				st.restored = true
+				for b := 0; b < clonePostSpan; b++ {
+					cc.Write(st.vol, ino, wafl.FBN(clonePostBase+b), 1)
+					st.postAcked++
+				}
+			}
+			st.done = true
+		})
+		hits, target := 0, j
+		sys.SetCPPhaseHook(func(phase string) bool {
+			if !window {
+				return false
+			}
+			hits++
+			if hits == target {
+				sys.RequestHalt()
+				return true
+			}
+			return false
+		})
+		halted := false
+		for i := 0; i < 64 && !halted; i++ {
+			sys.Run(cfg.MaxRun)
+			halted = sys.Halted()
+			if st.done && !halted {
+				// The script finished; give the tail CPs (split completion,
+				// final commits) a few more segments to reach boundary j,
+				// then treat the window's boundary space as exhausted.
+				for k := 0; k < 4 && !halted; k++ {
+					sys.Run(cfg.MaxRun)
+					halted = sys.Halted()
+				}
+				break
+			}
+		}
+		if !halted {
+			sys.Shutdown()
+			break
+		}
+		label := fmt.Sprintf("cloneops@boundary%d", j)
+		var final *wafl.System
+		res.Failures, final = crashCycle(sys, cloneVerifier(*st), label, res.Failures)
+		res.PointsRun++
+		ran++
+		if final != nil {
+			final.Shutdown()
+		} else {
+			sys.Shutdown()
+		}
+	}
+	tab.Rows = append(tab.Rows, []string{
+		fmt.Sprintf("%d", c.Seed), "clone-ops", fmt.Sprintf("%d", ran),
+		"-", fmt.Sprintf("%d", len(res.Failures)-failsBefore),
+	})
 	return nil
 }

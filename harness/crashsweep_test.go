@@ -13,6 +13,7 @@ func TestCrashSweepSmall(t *testing.T) {
 	cfg.Phases = 3
 	cfg.Clients = 2
 	cfg.OpsPerClient = 60
+	cfg.ClonePoints = 3
 	tab, res, err := CrashSweep(cfg)
 	if err != nil {
 		t.Fatal(err)

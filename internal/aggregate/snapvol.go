@@ -72,8 +72,18 @@ func (v *Volume) SnapshotIDs() []uint64 {
 // DeleteSnapshot removes snapshot id from the namespace. A still-pending
 // create is simply cancelled; a materialized snapshot becomes a zombie whose
 // exclusively-held blocks the next CP reclaims. Idempotent; returns false if
-// the snapshot does not exist.
+// the snapshot does not exist, is the base of a bound or pending clone (the
+// delete guard — split or delete the clones first), or is the target of a
+// pending SnapRestore.
 func (v *Volume) DeleteSnapshot(id uint64) bool {
+	if v.cloneRefs[id] > 0 {
+		return false
+	}
+	for _, r := range v.pendRestores {
+		if r == id {
+			return false
+		}
+	}
 	for i, p := range v.pendSnaps {
 		if p == id {
 			v.pendSnaps = append(v.pendSnaps[:i], v.pendSnaps[i+1:]...)
@@ -166,6 +176,12 @@ func (v *Volume) ReclaimSnapshot(s *snap.Snapshot, laterZombies []*snap.Snapshot
 		// Treat as a survivor so a shared bit is cleared exactly once, by
 		// its last holder.
 		survivors = append(survivors, z.Snapmap)
+	}
+	if v.cl != nil {
+		// A clone's base map holds its shared VVBNs in the summary exactly
+		// like a snapshot would — and their physical homes belong to the
+		// parent, so a clone-local snapshot delete must never free them.
+		survivors = append(survivors, v.cl.BaseFile)
 	}
 	sumClear, fullFree, words := snap.ReclaimSets(s.Snapmap, survivors, v.amapFile, v.vvbnBlocks)
 	// Capture physical homes before clearing summary bits: a cleared bit

@@ -103,5 +103,6 @@ func MountFrom(old *Aggregate) (*Aggregate, error) {
 		}
 		a.vols = append(a.vols, v)
 	}
+	a.rebuildCloneGuards()
 	return a, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"wafl/internal/bitmap"
 	"wafl/internal/block"
+	"wafl/internal/clone"
 	"wafl/internal/fs"
 	"wafl/internal/sim"
 	"wafl/internal/snap"
@@ -31,6 +32,7 @@ const (
 	inoVolActivemap = 3
 	inoVolSnapdir   = 4
 	inoVolSummary   = 5
+	inoVolBasemap   = 6 // clone base map (bound clones only)
 	// FirstUserIno is the first inode number handed to user files.
 	FirstUserIno = 16
 )
@@ -94,6 +96,26 @@ type Volume struct {
 	// record between the delete and the CP that clears it.
 	zombies []*fs.File
 	deleted map[uint64]bool
+
+	// Clone/restore state (see internal/clone). cl is non-nil while the
+	// volume is a bound writable clone; pendClone is a requested bind and
+	// pendRestores are requested SnapRestores, both awaiting the next CP.
+	// cloneRefs counts, per snapshot ID, the clones diverging from that
+	// snapshot — the parent-snapshot delete guard, rebuilt on mount from
+	// the clones' persisted parent links.
+	// restoring holds the client gate closed between the CP freeze that
+	// takes the pending restore list and the commit of the CP that applies
+	// it — without it, a write slipping in after the apply but before the
+	// commit would land in the NVRAM log *after* the restore record yet be
+	// discarded by a crash-replayed restore, diverging the crash and
+	// no-crash legs. pendSplit queues a split requested while the bind is
+	// still pending (replay ordering).
+	cl           *clone.State
+	pendClone    *pendingClone
+	pendSplit    bool
+	pendRestores []uint64
+	restoring    bool
+	cloneRefs    map[uint64]int
 }
 
 // AddVolume creates and formats a new volume of vvbnBlocks virtual blocks.
@@ -151,9 +173,14 @@ func (v *Volume) SummaryFile() *fs.File { return v.summaryFile }
 // Metafiles returns the volume's permanent metafiles, in CP cleaning order.
 // Snapshot snapmap/inocopy metafiles are not listed: they are written once
 // by the materializing CP (which cleans them explicitly) and immutable
-// afterwards.
+// afterwards. A bound clone's base map rides along: it mutates on COW
+// divergence (bit clears) and during splits.
 func (v *Volume) Metafiles() []*fs.File {
-	return []*fs.File{v.inofile, v.container, v.amapFile, v.snapdir, v.summaryFile}
+	mf := []*fs.File{v.inofile, v.container, v.amapFile, v.snapdir, v.summaryFile}
+	if v.cl != nil {
+		mf = append(mf, v.cl.BaseFile)
+	}
+	return mf
 }
 
 // SetContainer records that vvbn now lives at pvbn, dirtying the owning
@@ -530,6 +557,12 @@ func (v *Volume) encodeEntry(dst []byte) {
 	fs.EncodeRecord(dst[192:], v.amapFile.RecordOf(fs.FlagMetafile))
 	fs.EncodeRecord(dst[256:], v.snapdir.RecordOf(fs.FlagMetafile))
 	fs.EncodeRecord(dst[320:], v.summaryFile.RecordOf(fs.FlagMetafile))
+	if v.cl != nil {
+		// Clone header + base map record land in the entry's spare bytes;
+		// they are all-zero for non-clones, keeping clone-free file systems
+		// bit-identical to the pre-clone entry format.
+		v.cl.Encode(dst)
+	}
 }
 
 // WriteVolumeEntries serializes every volume's entry into the volume table,
@@ -604,5 +637,23 @@ func (a *Aggregate) decodeVolume(src []byte) *Volume {
 	if v.nextSnapID == 0 {
 		v.nextSnapID = 1
 	}
+	if st := clone.Decode(src); st != nil {
+		a.loadAll(st.BaseFile)
+		st.Base = bitmap.Rebind(st.BaseFile, v.vvbnBlocks)
+		if st.Splitting {
+			st.SplitIno = FirstUserIno
+		}
+		v.cl = st
+	}
 	return v
+}
+
+// rebuildCloneGuards recomputes every volume's parent-snapshot delete
+// guard from the bound clones' persisted parent links (mount path).
+func (a *Aggregate) rebuildCloneGuards() {
+	for _, v := range a.vols {
+		if v.cl != nil {
+			a.vols[v.cl.ParentVol].AddCloneRef(v.cl.ParentSnap)
+		}
+	}
 }

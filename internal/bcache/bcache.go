@@ -151,3 +151,37 @@ func (c *Cache) Remove(k Key) {
 		delete(c.m, k)
 	}
 }
+
+// InvalidateFile evicts every resident block of (vol, ino) — the delete
+// path's coherence hook. Walks the LRU list (never the map), so eviction
+// order and the surviving list are deterministic. Returns blocks evicted.
+func (c *Cache) InvalidateFile(vol int, ino uint64) int {
+	n := 0
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.key.Vol == vol && e.key.Ino == ino {
+			c.unlink(e)
+			delete(c.m, e.key)
+			n++
+		}
+		e = next
+	}
+	return n
+}
+
+// InvalidateVol evicts every resident block of vol — the SnapRestore
+// coherence hook: the restored image supersedes whatever of the discarded
+// present was resident. Returns blocks evicted.
+func (c *Cache) InvalidateVol(vol int) int {
+	n := 0
+	for e := c.head; e != nil; {
+		next := e.next
+		if e.key.Vol == vol {
+			c.unlink(e)
+			delete(c.m, e.key)
+			n++
+		}
+		e = next
+	}
+	return n
+}

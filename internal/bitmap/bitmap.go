@@ -351,3 +351,61 @@ func (a *Activemap) CountFree(start, end uint64) (uint64, int) {
 	}
 	return n, words
 }
+
+// fileWord returns the 64-bit word at bit offset wordStart (64-aligned) of a
+// bitmap metafile's content, treating absent blocks as all-clear.
+func fileWord(f *fs.File, wordStart uint64) uint64 {
+	buf := f.Buffer(0, block.FBN(wordStart/BitsPerBlock))
+	if buf == nil {
+		return 0
+	}
+	byteOff := (wordStart % BitsPerBlock) / 8
+	return binary.LittleEndian.Uint64(buf.Data()[byteOff:])
+}
+
+// ForEachDiff walks this map against src (a bitmap metafile over the same
+// bit space) word-wise and calls fn once for every differing bit, with inSrc
+// reporting which side holds it. fn may mutate this map through Set/Clear —
+// each changed word is read before its bits are visited, and every bit is
+// visited exactly once. This is the SnapRestore rebind walk: the active map
+// converges on the snapmap's content through the ordinary per-bit mutation
+// path, so the free-space index and all OnChange observers stay exact.
+// Returns the number of words scanned for CPU charging.
+func (a *Activemap) ForEachDiff(src *fs.File, fn func(bn uint64, inSrc bool)) int {
+	words := 0
+	for wordStart := uint64(0); wordStart < a.nbits; wordStart += 64 {
+		cur := a.wordAt(wordStart)
+		sw := fileWord(src, wordStart)
+		words++
+		diff := cur ^ sw
+		if diff == 0 {
+			continue
+		}
+		if wordEnd := wordStart + 64; wordEnd > a.nbits {
+			diff &^= ^uint64(0) << (a.nbits - wordStart)
+		}
+		for w := diff; w != 0; w &= w - 1 {
+			bn := wordStart + uint64(bits.TrailingZeros64(w))
+			fn(bn, sw&(1<<(bn-wordStart)) != 0)
+		}
+	}
+	return words
+}
+
+// AndPopcount returns the number of bits in [0, nbits) set in both bitmap
+// metafiles — e.g. a clone's still-live base blocks (baseMap AND activemap),
+// the population a clone split must copy before the parent hold can drop.
+func AndPopcount(x, y *fs.File, nbits uint64) uint64 {
+	n := uint64(0)
+	for wordStart := uint64(0); wordStart < nbits; wordStart += 64 {
+		w := fileWord(x, wordStart) & fileWord(y, wordStart)
+		if w == 0 {
+			continue
+		}
+		if wordEnd := wordStart + 64; wordEnd > nbits {
+			w &^= ^uint64(0) << (nbits - wordStart)
+		}
+		n += uint64(bits.OnesCount64(w))
+	}
+	return n
+}

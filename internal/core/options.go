@@ -110,6 +110,12 @@ type Options struct {
 	// under CleanInSerialAffinity, whose whole point is the pre-2008
 	// exclusive-CP design.
 	ParallelCP bool
+
+	// CloneSplitBatch bounds the number of still-live base blocks a clone
+	// split rewrites per consistency point. The split is a background
+	// block copy; the bound keeps any single CP's extra cleaning load —
+	// and hence client NVRAM-stall exposure — fixed.
+	CloneSplitBatch int
 }
 
 // DefaultOptions returns the standard White Alligator configuration.
@@ -130,6 +136,7 @@ func DefaultOptions() Options {
 		VolBucketsReady:  12,
 		StageSize:        64,
 		AASelection:      AAMostFree,
+		CloneSplitBatch:  2048,
 		EqualProgress:    true,
 		LooseAccounting:  true,
 		HierarchicalFree: true,

@@ -32,6 +32,13 @@ type Stats struct {
 	SnapsCreated    uint64
 	SnapsDeleted    uint64
 	SnapReclaimed   uint64 // physical blocks returned by snapshot deletes
+	Restores        uint64 // SnapRestores applied
+	RestoreFreed    uint64 // physical blocks freed by restores
+	RestoreBlocks   uint64 // metadata blocks walked/copied by restores (never data)
+	CloneBinds      uint64 // clone binds materialized
+	CloneCopied     uint64 // metafile blocks copied by clone binds
+	SplitCopied     uint64 // data blocks queued for copy by clone splits
+	SplitsDone      uint64 // clone splits fully completed (guard released)
 	AmapWrites      uint64
 	TotalDuration   sim.Duration
 	LastDuration    sim.Duration
@@ -77,11 +84,20 @@ type Engine struct {
 	// bit-identical to a run without a hook.
 	phaseHook func(phase string) bool
 
+	// onRestore, when set, fires on the engine thread after a SnapRestore is
+	// applied to a volume, before the CP commits. The facade uses it to
+	// invalidate that volume's buffer-cache entries and refund in-flight
+	// placement reservations — state that describes the discarded present.
+	onRestore func(volID int)
+
 	stats Stats
 }
 
 // SetPhaseHook installs (or, with nil, removes) the CP phase-boundary hook.
 func (e *Engine) SetPhaseHook(fn func(phase string) bool) { e.phaseHook = fn }
+
+// SetRestoreHook installs the post-restore-apply callback.
+func (e *Engine) SetRestoreHook(fn func(volID int)) { e.onRestore = fn }
 
 // boundary reports one CP phase boundary to the crash-schedule hook.
 func (e *Engine) boundary(t *sim.Thread, name string) {
@@ -278,9 +294,22 @@ func (e *Engine) runCP(t *sim.Thread) {
 	vols := e.a.Volumes()
 	snapPend := make(map[int][]uint64)
 	snapSetChanged := make(map[int]bool)
+	restPend := make(map[int][]uint64)
+	bindPend := make(map[int]bool)
 	for _, v := range vols {
 		if p := v.TakePendingSnapshots(); len(p) > 0 {
 			snapPend[v.ID()] = p
+		}
+		// Restores and clone binds are part of the same atomic cut: an op
+		// logged to the frozen half is applied by this CP, one logged after
+		// the switch waits for the next. Restores are taken out of the volume
+		// here; binds stay queued on the volume (MaterializeClone consumes
+		// them) but the decision of *which* CP applies them is made now.
+		if p := v.TakePendingRestores(); len(p) > 0 {
+			restPend[v.ID()] = p
+		}
+		if v.ClonePending() {
+			bindPend[v.ID()] = true
 		}
 	}
 	// The freeze itself fans out per volume. Client writes interleave with
@@ -315,7 +344,66 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.in.StartCP(dirtyVols)
 	snapZSlots := make([][]*snap.Snapshot, len(vols))
 	reapedSlots := make([]map[uint64]bool, len(vols))
+	redriveSlots := make([]bool, len(vols))
 	e.scatterVolumes(t, "zombies", vols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
+		// SnapRestores taken at the freeze cut apply first: the restored
+		// image supersedes everything else queued on the volume (zombies and
+		// dirty state were already discarded at request time, and clients
+		// have been gated since). The active map converges on the snapmap by
+		// a word-wise diff and the inode file becomes the inocopy image —
+		// O(metadata), never data blocks.
+		if ids := restPend[v.ID()]; len(ids) > 0 {
+			for n, id := range ids {
+				s := v.SnapshotByID(id)
+				if s == nil {
+					// Created and restored within one NVRAM window: the
+					// target materializes later in this very CP (phase 2b).
+					// Re-queue — the volume stays gated — and drive a
+					// follow-up CP to apply it.
+					v.DeferRestore(ids[n:])
+					redriveSlots[i] = true
+					break
+				}
+				pvbns, freedAlloc, walked := v.ApplyRestore(s)
+				wt.Consume(sim.Duration(walked) * e.costs.CommitPerBlock)
+				e.in.CommitFrees(wt, -1, pvbns)
+				e.in.Counters.Add(e.in.AggrFreeID(), int64(len(pvbns)))
+				e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(freedAlloc))
+				e.stats.Restores++
+				e.stats.RestoreFreed += uint64(len(pvbns))
+				e.stats.RestoreBlocks += uint64(walked)
+				if e.onRestore != nil {
+					e.onRestore(v.ID())
+				}
+				if wtr := wt.Tracer(); wtr != nil {
+					wtr.InstantArg(obs.PidCP, e.snapTrack(wtr), "snap", "snap-restore", int64(wt.Now()), int64(id))
+				}
+			}
+		}
+		// Clone binds queued before the freeze cut materialize next: the
+		// clone's active map and inode file become the parent snapshot's
+		// frozen image, the shared set is recorded in the base map and
+		// summary-held. A bind whose parent snapshot is pending in this same
+		// CP waits one more (same NVRAM-window reasoning as restores).
+		if bindPend[v.ID()] {
+			pv, ps := v.ClonePendingInfo()
+			p := e.a.Volume(pv)
+			if p.SnapshotByID(ps) == nil {
+				redriveSlots[i] = true
+			} else {
+				activated, copied := v.MaterializeClone(p)
+				wt.Consume(sim.Duration(copied) * e.costs.CommitPerBlock)
+				// The newly active VVBNs were allocatable before the bind
+				// (the slot map was empty and nothing summary-held them):
+				// debit the loose volume free counter to match the index.
+				e.in.Counters.Add(e.in.VolFreeID(v.ID()), -int64(activated))
+				e.stats.CloneBinds++
+				e.stats.CloneCopied += uint64(copied)
+				if wtr := wt.Tracer(); wtr != nil {
+					wtr.InstantArg(obs.PidCP, e.snapTrack(wtr), "snap", "clone-bind", int64(wt.Now()), int64(v.ID()))
+				}
+			}
+		}
 		for _, z := range v.TakeZombies() {
 			if z.FrozenCount() > 0 {
 				// The file was frozen into this very CP before being
@@ -370,16 +458,29 @@ func (e *Engine) runCP(t *sim.Thread) {
 			zlists = append(zlists, snapZSlots[i])
 		}
 	}
-	if len(zvols) > 0 {
+	// Splitting clones do their bounded block-copy step (or complete) after
+	// the zombie walks; computed here because a bind materialized above may
+	// have started a replay-queued split.
+	var splitVols []*aggregate.Volume
+	for _, v := range vols {
+		if v.CloneSplitting() {
+			splitVols = append(splitVols, v)
+		}
+	}
+	if len(zvols) > 0 || len(splitVols) > 0 {
 		// The file-zombie free commits above are applied asynchronously by
 		// range-affinity messages. A snapshot reclaim diffs the victim's
 		// snapmap against activemap *content*, so an in-flight clear — a file
 		// deleted in this CP whose blocks a dying snapshot holds — would make
 		// the reclaim see the VVBN as still active: it would clear the summary
-		// bit but never free the physical block, leaking it permanently. Wait
-		// for the messages to settle (without entering drain mode — the
-		// cleaning phase's fill pipeline hasn't started yet).
+		// bit but never free the physical block, leaking it permanently. A
+		// clone-split completion makes the same content diff (live base
+		// count), so it needs the same settling. Wait for the messages
+		// (without entering drain mode — the cleaning phase's fill pipeline
+		// hasn't started yet).
 		e.in.DrainFrees(t)
+	}
+	if len(zvols) > 0 {
 		// Snapshot zombies: diff the victim's snapmap against the active map
 		// and surviving snapmaps, clear the summary bits nobody else holds,
 		// and return exclusively-held blocks (plus the snapshot's own
@@ -406,6 +507,44 @@ func (e *Engine) runCP(t *sim.Thread) {
 				}
 			}
 		})
+	}
+	if len(splitVols) > 0 {
+		// Clone splits. While base blocks are live in the active map, rewrite
+		// a bounded batch through the normal COW write path — they dirty into
+		// the open generation and the *next* CP's cleaner assigns fresh
+		// VVBN/physical homes, so each split CP is re-driven below. Once no
+		// base block is live, completion clears the summary/base holds not
+		// owned by clone-local snapshots and (when fully drained) frees the
+		// base map metafile and drops the parent-snapshot delete guard.
+		e.scatterVolumes(t, "clonesplit", splitVols, func(wt *sim.Thread, v *aggregate.Volume, i int) {
+			st := v.CloneState()
+			if live := v.CloneLiveBase(); live > 0 {
+				copied, walked := v.SplitStep(e.opts.CloneSplitBatch)
+				wt.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
+				e.stats.SplitCopied += uint64(copied)
+				redriveSlots[i] = true
+				return
+			}
+			pv, ps := st.ParentVol, st.ParentSnap
+			basePvbns, freedAlloc, walked, done := v.CompleteSplit()
+			wt.Consume(sim.Duration(walked) * e.costs.CommitPerBit)
+			e.in.CommitFrees(wt, -1, basePvbns)
+			e.in.Counters.Add(e.in.AggrFreeID(), int64(len(basePvbns)))
+			e.in.Counters.Add(e.in.VolFreeID(v.ID()), int64(freedAlloc))
+			if done {
+				e.a.Volume(pv).DropCloneRef(ps)
+				e.stats.SplitsDone++
+				if wtr := wt.Tracer(); wtr != nil {
+					wtr.InstantArg(obs.PidCP, e.snapTrack(wtr), "snap", "clone-split-done", int64(wt.Now()), int64(v.ID()))
+				}
+			}
+		})
+	}
+	for _, r := range redriveSlots {
+		if r {
+			e.RequestCP()
+			break
+		}
 	}
 
 	// Phase 2: inode cleaning through the White Alligator API.
@@ -577,6 +716,12 @@ func (e *Engine) runCP(t *sim.Thread) {
 	e.boundary(t, "post-commit")
 	e.log.FreeFrozen()
 	e.in.EndCP()
+	// The applied restores are durable: reopen the client gates. Deferred
+	// restores re-queued at phase 1b keep their volumes gated through
+	// pendRestores until the follow-up CP applies them.
+	for vid := range restPend {
+		e.a.Volume(vid).FinishRestore()
+	}
 	e.boundary(t, "done")
 
 	phase("commit")

@@ -19,13 +19,17 @@ import (
 type OpKind uint8
 
 // Logged operation kinds. Snapshot ops reuse the Ino field for the snapshot
-// ID.
+// ID. Clone/restore ops reuse Ino for the snapshot ID too; OpCloneCreate
+// additionally reuses FBN for the parent volume's member-local index.
 const (
 	OpWrite OpKind = iota + 1
 	OpCreate
 	OpDelete
 	OpSnapCreate
 	OpSnapDelete
+	OpSnapRestore
+	OpCloneCreate
+	OpCloneSplit
 )
 
 // recordOverhead approximates the per-record NVRAM header cost in bytes.

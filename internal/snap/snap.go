@@ -90,6 +90,37 @@ func CopyContent(dst, src *fs.File) int {
 	return n
 }
 
+// ReplaceContent makes dst's L0 content exactly equal src's: resident src
+// blocks are copied in, and resident dst blocks with no src counterpart are
+// zero-filled (a record block full of zeroes decodes as no inodes). Both
+// directions dirty into the running CP. SnapRestore uses it to rebind the
+// active inode file to a snapshot's inocopy: plain CopyContent would leave
+// records of files created after the snapshot dangling past the image's
+// end. Returns the number of blocks touched.
+func ReplaceContent(dst, src *fs.File) int {
+	n := CopyContent(dst, src)
+	limit := dst.Size()
+	if src.Size() > limit {
+		limit = src.Size()
+	}
+	for fbn := block.FBN(0); fbn < limit; fbn++ {
+		if src.Buffer(0, fbn) != nil {
+			continue // copied above
+		}
+		dbuf := dst.Buffer(0, fbn)
+		if dbuf == nil {
+			continue // hole on both sides
+		}
+		d := dbuf.CPMutableData()
+		for i := range d {
+			d[i] = 0
+		}
+		dst.DirtyIntoCP(dbuf)
+		n++
+	}
+	return n
+}
+
 // wordAt returns the 64-bit bitmap word at bit offset wordStart (a multiple
 // of 64) of a bitmap metafile, treating absent blocks as all-zero.
 func wordAt(f *fs.File, wordStart uint64) uint64 {

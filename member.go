@@ -161,9 +161,13 @@ func buildMember(sys *System, id int) (*Member, error) {
 	s := sys.s
 	s.SetSpawnPrefix(spawnPrefix(id))
 	defer s.SetSpawnPrefix("")
+	// Clone slots are pre-provisioned member-local volumes after the client
+	// volumes: indices [Volumes, Volumes+CloneSlots). With CloneSlots == 0
+	// the layout (and every event) is identical to the pre-clone code.
+	localVols := cfg.Volumes + cfg.CloneSlots
 	m := &Member{sys: sys, id: id, threadLo: s.ThreadMark(), lat: obs.NewHistogram("client.lat"),
-		reserved:     make([]int64, cfg.Volumes),
-		pendingPlace: make([][]int64, cfg.Volumes),
+		reserved:     make([]int64, localVols),
+		pendingPlace: make([][]int64, localVols),
 		placements:   make(map[placeKey]int64)}
 	if cfg.BCacheBlocks > 0 {
 		m.bc = bcache.New(cfg.BCacheBlocks)
@@ -171,7 +175,7 @@ func buildMember(sys *System, id int) (*Member, error) {
 	m.w = waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
 	m.h = waffinity.NewHierarchy(m.w, waffinity.HierarchyConfig{
 		Aggregates:    1,
-		VolumesPerAgg: cfg.Volumes,
+		VolumesPerAgg: localVols,
 		StripesPerVol: cfg.StripesPerVolume,
 		RangesPerVBN:  cfg.RangesPerVBN,
 		FirstAggr:     id,
@@ -189,18 +193,43 @@ func buildMember(sys *System, id int) (*Member, error) {
 		return nil, err
 	}
 	m.a = a
-	for i := 0; i < cfg.Volumes; i++ {
+	for i := 0; i < localVols; i++ {
 		a.AddVolume(cfg.VolumeBlocks)
 	}
 	m.in = core.NewInfra(m.w, m.h, a, cfg.Allocator, cfg.Costs)
 	m.pool = core.NewPool(m.in, cfg.Allocator, cfg.Costs)
 	m.log = nvlog.New(cfg.NVRAMHalfBytes)
 	m.engine = cp.New(m.w, m.h, a, m.in, m.pool, m.log, cfg.Allocator, cfg.Costs)
+	m.engine.SetRestoreHook(m.onRestore)
 	if cfg.Allocator.Dynamic {
 		m.tuner = core.StartTuner(m.pool, cfg.Tuner)
 	}
 	m.threadHi = s.ThreadMark()
 	return m, nil
+}
+
+// onRestore is the CP engine's post-SnapRestore-apply callback: the restored
+// image supersedes the volume's volatile present, so evict its buffer-cache
+// residency and refund every ingest reservation charged against it (bound or
+// still pending) — the files those charges stood in for were discarded or
+// reverted with the rest of the present.
+func (m *Member) onRestore(lv int) {
+	if m.bc != nil {
+		m.bc.InvalidateVol(lv)
+	}
+	// Deleting map entries while iterating is fine in Go, and the resulting
+	// reserved[lv] is a sum — order-independent, so determinism holds even
+	// though the map iteration order is not.
+	for k, rem := range m.placements {
+		if k.vol == lv {
+			m.reserved[lv] -= rem
+			delete(m.placements, k)
+		}
+	}
+	for _, q := range m.pendingPlace[lv] {
+		m.reserved[lv] -= q
+	}
+	m.pendingPlace[lv] = nil
 }
 
 // remountMember rebuilds a crashed member from its persistent state: it
@@ -246,7 +275,7 @@ func (sys *System) remountMember(om *Member) (*Member, error) {
 	m.w = waffinity.New(s, cfg.Cores, cfg.Costs.MsgDispatch)
 	m.h = waffinity.NewHierarchy(m.w, waffinity.HierarchyConfig{
 		Aggregates:    1,
-		VolumesPerAgg: cfg.Volumes,
+		VolumesPerAgg: cfg.Volumes + cfg.CloneSlots,
 		StripesPerVol: cfg.StripesPerVolume,
 		RangesPerVBN:  cfg.RangesPerVBN,
 		FirstAggr:     om.id,
@@ -255,6 +284,7 @@ func (sys *System) remountMember(om *Member) (*Member, error) {
 	m.pool = core.NewPool(m.in, cfg.Allocator, cfg.Costs)
 	m.log = nvlog.New(cfg.NVRAMHalfBytes)
 	m.engine = cp.New(m.w, m.h, a, m.in, m.pool, m.log, cfg.Allocator, cfg.Costs)
+	m.engine.SetRestoreHook(m.onRestore)
 	if cfg.Allocator.Dynamic {
 		m.tuner = core.StartTuner(m.pool, cfg.Tuner)
 	}
@@ -311,6 +341,25 @@ func (m *Member) replay(records []nvlog.Record) {
 			v.RequestSnapshotAt(rec.Ino)
 		case nvlog.OpSnapDelete:
 			v.DeleteSnapshot(rec.Ino) // idempotent
+
+		case nvlog.OpSnapRestore:
+			// Re-queue the restore: the volume is gated again and the
+			// recovery CP applies it. A surviving restore record implies the
+			// volume was gated from the request on, so no later record in
+			// this log touches the volume — the replayed DiscardVolatile
+			// cannot erase replayed-and-acked state.
+			v.RequestRestoreAt(rec.Ino)
+		case nvlog.OpCloneCreate:
+			// Ino carries the parent snapshot ID, FBN the parent's local
+			// volume. A bind the crash interrupted is re-queued; one a
+			// committed CP already materialized is a no-op — its delete
+			// guard was rebuilt by the mount, so only a fresh queueing takes
+			// a new reference.
+			if !v.IsClone() && v.RequestCloneBind(int(rec.FBN), rec.Ino) {
+				m.a.Volume(int(rec.FBN)).AddCloneRef(rec.Ino)
+			}
+		case nvlog.OpCloneSplit:
+			v.StartSplit() // idempotent; no-op after a completed split
 
 		case nvlog.OpWrite:
 			f := v.LookupFile(rec.Ino)
@@ -384,9 +433,28 @@ func handleIno(ino uint64) uint64 { return ino & (1<<memberShift - 1) }
 func (sys *System) m0() *Member { return sys.members[0] }
 
 // volMember resolves a global volume index to (member, member-local
-// volume). Global volume v lives on member v / cfg.Volumes.
+// volume). Global volume v < Members*Volumes lives on member v /
+// cfg.Volumes; clone volumes are addressed above that base — global clone
+// slot s of member m is Members*Volumes + m*CloneSlots + s, mapping to
+// member-local volume Volumes + s. A clone is always placed on its parent's
+// member (the base blocks are physically there), so the routing stays
+// stateless.
 func (sys *System) volMember(vol int) (*Member, int) {
+	base := sys.cfg.Volumes * len(sys.members)
+	if vol >= base {
+		cs := vol - base
+		return sys.members[cs/sys.cfg.CloneSlots], sys.cfg.Volumes + cs%sys.cfg.CloneSlots
+	}
 	return sys.members[vol/sys.cfg.Volumes], vol % sys.cfg.Volumes
+}
+
+// globalVol is volMember's inverse: the global index of member mid's local
+// volume lv.
+func (sys *System) globalVol(mid, lv int) int {
+	if lv < sys.cfg.Volumes {
+		return mid*sys.cfg.Volumes + lv
+	}
+	return sys.cfg.Volumes*len(sys.members) + mid*sys.cfg.CloneSlots + (lv - sys.cfg.Volumes)
 }
 
 // resolve routes an operation addressed by (global volume, file handle) to
@@ -395,7 +463,8 @@ func (sys *System) volMember(vol int) (*Member, int) {
 // the member-local volume index, and the member-local inode number.
 func (sys *System) resolve(vol int, ino uint64) (*Member, int, uint64) {
 	if mid := handleMember(ino); mid != 0 {
-		return sys.members[mid], vol % sys.cfg.Volumes, handleIno(ino)
+		_, lv := sys.volMember(vol)
+		return sys.members[mid], lv, handleIno(ino)
 	}
 	m, lv := sys.volMember(vol)
 	return m, lv, ino

@@ -293,6 +293,45 @@ func (sys *System) SnapStats() (created, deleted, reclaimedBlocks uint64) {
 	return st.SnapsCreated, st.SnapsDeleted, st.SnapReclaimed
 }
 
+// CloneStats is the cumulative clone/restore activity rollup plus the
+// point-in-time block debt the clone fleet still owes its parents.
+type CloneStats struct {
+	Binds         uint64 // clones materialized at a CP
+	SplitsDone    uint64 // clone splits driven to completion
+	SplitCopied   uint64 // blocks rewritten by background split copy
+	Restores      uint64 // SnapRestore reverts committed
+	RestoreFreed  uint64 // blocks freed by reverting past the snapshot
+	RestoreBlocks uint64 // metadata blocks rewritten during restores
+	CloneHeld     uint64 // live base blocks still shared with parents
+	SplitPending  uint64 // of CloneHeld, blocks a running split has left
+	Bound         int    // clone volumes currently bound
+	Splitting     int    // of Bound, clones with a split in flight
+}
+
+// CloneStats aggregates the clone/restore counters across members and
+// walks the bound clone volumes for their live summary-hold debt.
+func (sys *System) CloneStats() CloneStats {
+	st := sys.CPStats()
+	cs := CloneStats{
+		Binds:         st.CloneBinds,
+		SplitsDone:    st.SplitsDone,
+		SplitCopied:   st.SplitCopied,
+		Restores:      st.Restores,
+		RestoreFreed:  st.RestoreFreed,
+		RestoreBlocks: st.RestoreBlocks,
+	}
+	for _, cv := range sys.CloneVolumes() {
+		fs := sys.FreeSpaceBreakdown(cv)
+		cs.CloneHeld += fs.CloneHeld
+		cs.SplitPending += fs.SplitPending
+		cs.Bound++
+		if fs.SplitPending > 0 {
+			cs.Splitting++
+		}
+	}
+	return cs
+}
+
 // CleanerJobStats returns the cleaner pools' cumulative job and batch
 // counts (equal unless batched inode cleaning merged jobs).
 func (sys *System) CleanerJobStats() (jobs, batches uint64) {

@@ -157,6 +157,15 @@ type Config struct {
 	Volumes      int
 	VolumeBlocks uint64
 
+	// CloneSlots pre-provisions, per member, this many extra volumes usable
+	// only as writable clones (CloneCreate binds one to a parent snapshot).
+	// Clone volumes are addressed globally above the client volumes: clone
+	// slot s of member m is Members*Volumes + m*CloneSlots + s. 0 (the
+	// default) disables clones and keeps the system bit-identical to the
+	// pre-clone code. Slots are not recycled: a split-or-deleted clone's
+	// slot stays consumed for the System's lifetime.
+	CloneSlots int
+
 	// NVRAMHalfBytes sizes each NVRAM log half (per member); the CP
 	// cadence follows from it.
 	NVRAMHalfBytes uint64
@@ -743,6 +752,84 @@ func (sys *System) SnapDeleteDirect(vol int, id uint64) bool {
 	return m.a.Volume(lv).DeleteSnapshot(id)
 }
 
+// SnapRestoreDirect queues reverting the volume to snapshot id without
+// logging or timing (benchmark/test setup); the next CP — e.g. a Flush —
+// applies it. Returns false if the snapshot does not exist (nor is pending).
+func (sys *System) SnapRestoreDirect(vol int, id uint64) bool {
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).RequestRestore(id)
+}
+
+// CloneCreateDirect binds a free clone slot on the parent's member as a
+// writable clone of snapshot snapID, without logging or timing (benchmark
+// setup); the next CP materializes the bind. Returns the clone's global
+// volume index, or -1 if the snapshot does not exist or no slot is free.
+func (sys *System) CloneCreateDirect(parentVol int, snapID uint64) int {
+	m, plv := sys.volMember(parentVol)
+	pv := m.a.Volume(plv)
+	if !pv.SnapshotExists(snapID) {
+		return -1
+	}
+	for s := sys.cfg.Volumes; s < sys.cfg.Volumes+sys.cfg.CloneSlots; s++ {
+		if m.a.Volume(s).CloneSlotFree() {
+			m.a.Volume(s).RequestCloneBind(plv, snapID)
+			pv.AddCloneRef(snapID)
+			return sys.globalVol(m.id, s)
+		}
+	}
+	return -1
+}
+
+// CloneSplitDirect starts splitting the clone from its parent without
+// logging or timing (benchmark setup); subsequent CPs perform the bounded
+// block copies. Returns false if the volume is not a clone.
+func (sys *System) CloneSplitDirect(vol int) bool {
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).StartSplit()
+}
+
+// CloneBound reports whether the (globally addressed) volume is a bound
+// writable clone.
+func (sys *System) CloneBound(vol int) bool {
+	m, lv := sys.volMember(vol)
+	return m.a.Volume(lv).IsClone()
+}
+
+// CloneSplitDone reports whether a requested split has fully completed: the
+// volume no longer carries clone state (parent holds and delete guard
+// dropped). False for a still-bound clone; true for a never-cloned volume.
+func (sys *System) CloneSplitDone(vol int) bool {
+	m, lv := sys.volMember(vol)
+	v := m.a.Volume(lv)
+	return !v.IsClone() && !v.ClonePending()
+}
+
+// CloneParent returns the clone's parent as (global parent volume, snapshot
+// ID); ok is false if the volume is not a bound clone.
+func (sys *System) CloneParent(vol int) (parentVol int, snapID uint64, ok bool) {
+	m, lv := sys.volMember(vol)
+	st := m.a.Volume(lv).CloneState()
+	if st == nil {
+		return 0, 0, false
+	}
+	return sys.globalVol(m.id, st.ParentVol), st.ParentSnap, true
+}
+
+// CloneVolumes returns the global volume indices of every bound clone (and
+// every clone whose bind is pending), in member-then-slot order.
+func (sys *System) CloneVolumes() []int {
+	var out []int
+	for _, m := range sys.members {
+		for s := sys.cfg.Volumes; s < sys.cfg.Volumes+sys.cfg.CloneSlots; s++ {
+			v := m.a.Volume(s)
+			if v.IsClone() || v.ClonePending() {
+				out = append(out, sys.globalVol(m.id, s))
+			}
+		}
+	}
+	return out
+}
+
 // InfraCounters is the allocator infrastructure's cumulative counter set.
 type InfraCounters = core.InfraStats
 
@@ -793,6 +880,13 @@ func (sys *System) CPStats() CPStats {
 		t.SnapsCreated += st.SnapsCreated
 		t.SnapsDeleted += st.SnapsDeleted
 		t.SnapReclaimed += st.SnapReclaimed
+		t.Restores += st.Restores
+		t.RestoreFreed += st.RestoreFreed
+		t.RestoreBlocks += st.RestoreBlocks
+		t.CloneBinds += st.CloneBinds
+		t.CloneCopied += st.CloneCopied
+		t.SplitCopied += st.SplitCopied
+		t.SplitsDone += st.SplitsDone
 		t.AmapWrites += st.AmapWrites
 		t.TotalDuration += st.TotalDuration
 		t.CleanDuration += st.CleanDuration
@@ -881,12 +975,13 @@ func (sys *System) Quiesce() error {
 }
 
 // allClean reports whether every member has no logged ops, no frozen log
-// half, no running CP, no dirty files, and quiescent snapshots.
+// half, no running CP, no dirty files, and quiescent snapshot, clone, and
+// restore machinery.
 func (sys *System) allClean() bool {
 	for _, m := range sys.members {
 		clean := m.log.ActiveOps() == 0 && !m.log.HasFrozen() && !m.engine.Running()
 		for _, v := range m.a.Volumes() {
-			if v.DirtyFiles() > 0 || !v.SnapshotsQuiescent() {
+			if v.DirtyFiles() > 0 || !v.SnapshotsQuiescent() || !v.CloneRestoreQuiescent() {
 				clean = false
 			}
 		}
